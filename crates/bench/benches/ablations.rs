@@ -1,0 +1,81 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! extraction algorithm (greedy vs branch-and-bound), rule sets
+//! (FMA-only vs COMM/ASSOC-only vs full Table I), and cost-model
+//! sensitivity (memory cost 10/100/1000).
+
+use accsat_egraph::{all_rules, assoc_rules, comm_rules, fma_rules, Runner, RunnerLimits};
+use accsat_extract::{extract_exact, extract_greedy, CostModel};
+use accsat_ir::parse_program;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn saturated_bt() -> (accsat_egraph::EGraph, Vec<accsat_egraph::Id>) {
+    let bt = accsat_benchmarks::npb_benchmarks().remove(0);
+    let prog = parse_program(&bt.acc_source).unwrap();
+    let f = &prog.functions[0];
+    let body = accsat_ir::innermost_parallel_loops(f)[0].body.clone();
+    let mut k = accsat_ssa::build_kernel(&body);
+    Runner::new(all_rules()).run(&mut k.egraph);
+    let roots = k.extraction_roots();
+    (k.egraph, roots)
+}
+
+fn ablation_extract(c: &mut Criterion) {
+    let (eg, roots) = saturated_bt();
+    let cm = CostModel::paper();
+    let mut group = c.benchmark_group("ablation_extract");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| b.iter(|| extract_greedy(&eg, &roots, &cm)));
+    group.bench_function("branch_and_bound_100ms", |b| {
+        b.iter(|| extract_exact(&eg, &roots, &cm, Duration::from_millis(100)))
+    });
+    group.finish();
+
+    // report the cost gap once (printed in bench output)
+    let g = extract_greedy(&eg, &roots, &cm).dag_cost(&eg, &cm, &roots);
+    let e = extract_exact(&eg, &roots, &cm, Duration::from_millis(100));
+    println!("ablation_extract cost: greedy={g} bnb={} optimal={}", e.cost, e.proven_optimal);
+}
+
+fn ablation_rules(c: &mut Criterion) {
+    let bt = accsat_benchmarks::npb_benchmarks().remove(0);
+    let prog = parse_program(&bt.acc_source).unwrap();
+    let f = &prog.functions[0];
+    let body = accsat_ir::innermost_parallel_loops(f)[0].body.clone();
+    let mut group = c.benchmark_group("ablation_rules");
+    group.sample_size(10);
+    for (name, rules) in [
+        ("fma_only", fma_rules()),
+        ("comm_assoc_only", {
+            let mut r = comm_rules();
+            r.extend(assoc_rules());
+            r
+        }),
+        ("full_table1", all_rules()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rules, |b, rules| {
+            b.iter(|| {
+                let mut k = accsat_ssa::build_kernel(&body);
+                let limits = RunnerLimits { iter_limit: 6, ..Default::default() };
+                Runner::new(rules.clone()).with_limits(limits).run(&mut k.egraph)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_cost_model(c: &mut Criterion) {
+    let (eg, roots) = saturated_bt();
+    let mut group = c.benchmark_group("ablation_cost_model");
+    group.sample_size(10);
+    for heavy in [10u64, 100, 1000] {
+        let cm = CostModel::with_heavy(heavy);
+        group.bench_with_input(BenchmarkId::from_parameter(heavy), &cm, |b, cm| {
+            b.iter(|| extract_greedy(&eg, &roots, cm))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_extract, ablation_rules, ablation_cost_model);
+criterion_main!(benches);

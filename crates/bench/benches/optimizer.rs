@@ -1,0 +1,54 @@
+//! Criterion benches of the ACC Saturator pipeline itself — the §VII cost
+//! numbers (SSA+codegen ms per kernel, saturation time) measured on every
+//! benchmark kernel, one group per evaluation table.
+
+use accsat::{optimize_program, Variant};
+use accsat_ir::parse_program;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for bench in accsat_benchmarks::all_benchmarks() {
+        let prog = parse_program(&bench.acc_source).unwrap();
+        for variant in [Variant::Cse, Variant::AccSat] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.label(), bench.name),
+                &prog,
+                |b, prog| b.iter(|| optimize_program(prog, variant).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_phases(c: &mut Criterion) {
+    // phase-by-phase timing on the paper's Listing 2 shape (NPB-BT z_solve)
+    let bt = accsat_benchmarks::npb_benchmarks().remove(0);
+    let prog = parse_program(&bt.acc_source).unwrap();
+    let f = &prog.functions[0];
+    let body = accsat_ir::innermost_parallel_loops(f)[0].body.clone();
+
+    let mut group = c.benchmark_group("phases_bt_zsolve");
+    group.sample_size(10);
+    group.bench_function("ssa_build", |b| {
+        b.iter(|| accsat_ssa::build_kernel(&body))
+    });
+    group.bench_function("saturation", |b| {
+        b.iter(|| {
+            let mut k = accsat_ssa::build_kernel(&body);
+            accsat_egraph::Runner::new(accsat_egraph::all_rules()).run(&mut k.egraph)
+        })
+    });
+    group.bench_function("extraction", |b| {
+        let mut k = accsat_ssa::build_kernel(&body);
+        accsat_egraph::Runner::new(accsat_egraph::all_rules()).run(&mut k.egraph);
+        let roots = k.extraction_roots();
+        let cm = accsat_extract::CostModel::paper();
+        b.iter(|| accsat_extract::extract(&k.egraph, &roots, &cm, std::time::Duration::from_millis(500)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_phases);
+criterion_main!(benches);

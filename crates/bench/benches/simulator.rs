@@ -1,0 +1,39 @@
+//! Benches of the GPU simulator substrate: warp scoreboard throughput and
+//! full-benchmark evaluation (the inner loop of every figure harness).
+
+use accsat::{evaluate_benchmark, Variant};
+use accsat_compilers::{compile_kernel, Compiler, CompilerModel};
+use accsat_gpusim::{simulate, Device};
+use accsat_ir::{parse_program, Model};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_scoreboard(c: &mut Criterion) {
+    let bt = accsat_benchmarks::npb_benchmarks().remove(0);
+    let prog = parse_program(&bt.acc_source).unwrap();
+    let cm = CompilerModel::new(Compiler::Nvhpc, Model::OpenAcc);
+    let k = compile_kernel(&prog.functions[0], &cm, &bt.bindings_map()).unwrap();
+    let dev = Device::a100_pcie_40gb();
+    let mut group = c.benchmark_group("scoreboard");
+    group.sample_size(20);
+    for warps in [1u32, 4, 16] {
+        group.bench_function(format!("bt_zsolve_{warps}w"), |b| {
+            b.iter(|| simulate(&k.trace, warps, &dev))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let bt = accsat_benchmarks::npb_benchmarks().remove(0);
+    let dev = Device::a100_pcie_40gb();
+    let cm = CompilerModel::new(Compiler::Nvhpc, Model::OpenAcc);
+    let mut group = c.benchmark_group("evaluate");
+    group.sample_size(10);
+    group.bench_function("npb_bt_accsat", |b| {
+        b.iter(|| evaluate_benchmark(&bt, Variant::AccSat, &cm, &dev).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoreboard, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Figure 5: NPB speedups on the A100-SXM4-80GB (1.31x memory bandwidth).
+
+use accsat_bench::print_speedup_figure;
+use accsat_gpusim::Device;
+use accsat_ir::Model;
+
+fn main() {
+    let dev = Device::a100_sxm4_80gb();
+    let benches = accsat_benchmarks::npb_benchmarks();
+    print_speedup_figure("Figure 5: NPB speedups (SXM4)", &benches, Model::OpenAcc, &dev, "");
+}

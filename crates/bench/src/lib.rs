@@ -1,0 +1,144 @@
+//! `accsat-bench` — shared experiment drivers for the table/figure
+//! harnesses (`src/bin/`) and the criterion benches (`benches/`).
+//!
+//! Every binary regenerates one artifact of the paper's evaluation; see
+//! DESIGN.md's experiment index. Absolute numbers come from the GPU
+//! simulator, so they differ from the paper's A100 wall-clock — the *shape*
+//! (which variant wins where, by roughly what factor) is the reproduction
+//! target, recorded in EXPERIMENTS.md.
+
+use accsat::{evaluate_benchmark, speedup, BenchmarkResult, Variant};
+use accsat_benchmarks::Benchmark;
+use accsat_compilers::{Compiler, CompilerModel};
+use accsat_gpusim::Device;
+use accsat_ir::Model;
+
+/// One line of a speedup figure: benchmark × variant → speedup.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    pub benchmark: String,
+    pub compiler: String,
+    pub original_s: f64,
+    /// (variant label, speedup over original).
+    pub speedups: Vec<(&'static str, f64)>,
+}
+
+/// Evaluate all variants of one benchmark under one compiler model.
+pub fn variant_speedups(
+    bench: &Benchmark,
+    cm: &CompilerModel,
+    dev: &Device,
+) -> Result<SpeedupRow, String> {
+    let original = evaluate_benchmark(bench, Variant::Original, cm, dev)?;
+    let mut speedups = Vec::new();
+    for v in Variant::all() {
+        let r = evaluate_benchmark(bench, v, cm, dev)?;
+        speedups.push((v.label(), speedup(&original, &r)));
+    }
+    Ok(SpeedupRow {
+        benchmark: bench.name.to_string(),
+        compiler: cm.compiler.name().to_string(),
+        original_s: original.total_time_s,
+        speedups,
+    })
+}
+
+/// The compiler models evaluated for a suite+model combination (§VII).
+pub fn compilers_for(model: Model) -> Vec<CompilerModel> {
+    match model {
+        Model::OpenAcc => vec![
+            CompilerModel::new(Compiler::Nvhpc, Model::OpenAcc),
+            CompilerModel::new(Compiler::Gcc, Model::OpenAcc),
+        ],
+        Model::OpenMp => vec![
+            CompilerModel::new(Compiler::Nvhpc, Model::OpenMp),
+            CompilerModel::new(Compiler::Gcc, Model::OpenMp),
+            CompilerModel::new(Compiler::Clang, Model::OpenMp),
+        ],
+    }
+}
+
+/// Print a figure: per-compiler speedup rows over a suite.
+pub fn print_speedup_figure(
+    title: &str,
+    benches: &[Benchmark],
+    model: Model,
+    dev: &Device,
+    prefix: &str,
+) {
+    println!("== {title} ==  (device: {})", dev.name);
+    for cm in compilers_for(model) {
+        println!("-- {} ({}) --", cm.compiler.name(), model);
+        let mut per_variant: Vec<(String, Vec<f64>)> = Vec::new();
+        for b in benches {
+            match variant_speedups(b, &cm, dev) {
+                Ok(row) => {
+                    let name = format!("{prefix}{}", row.benchmark);
+                    println!(
+                        "{}",
+                        accsat::format_speedup_row(
+                            &name,
+                            &row.speedups
+                                .iter()
+                                .map(|(l, s)| (*l, *s))
+                                .collect::<Vec<_>>()
+                        )
+                    );
+                    for (i, (label, s)) in row.speedups.iter().enumerate() {
+                        if per_variant.len() <= i {
+                            per_variant.push((label.to_string(), Vec::new()));
+                        }
+                        per_variant[i].1.push(*s);
+                    }
+                }
+                Err(e) => println!("{:>10}: ERROR {e}", b.name),
+            }
+        }
+        let avgs: Vec<String> = per_variant
+            .iter()
+            .map(|(l, v)| format!("{l}={:.2}x", accsat::report::mean(v)))
+            .collect();
+        println!("{:>10}:  {}", "average", avgs.join("  "));
+    }
+}
+
+/// Per-kernel breakdown under every variant (Table IV / Fig. 3 shape).
+pub fn kernel_breakdown(
+    bench: &Benchmark,
+    cm: &CompilerModel,
+    dev: &Device,
+) -> Result<Vec<(String, Vec<BenchmarkResult>)>, String> {
+    let mut results = Vec::new();
+    let original = evaluate_benchmark(bench, Variant::Original, cm, dev)?;
+    let mut all = vec![original];
+    for v in Variant::all() {
+        all.push(evaluate_benchmark(bench, v, cm, dev)?);
+    }
+    // group by kernel function name
+    for (i, k) in all[0].kernels.iter().enumerate() {
+        let _ = (i, k);
+    }
+    results.push((bench.name.to_string(), all));
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_speedups_produce_four_entries() {
+        let b = accsat_benchmarks::npb_benchmarks().remove(2); // EP
+        let dev = Device::a100_pcie_40gb();
+        let cm = CompilerModel::new(Compiler::Nvhpc, Model::OpenAcc);
+        let row = variant_speedups(&b, &cm, &dev).unwrap();
+        assert_eq!(row.speedups.len(), 4);
+        assert!(row.original_s > 0.0);
+    }
+
+    #[test]
+    fn compilers_for_models() {
+        assert_eq!(compilers_for(Model::OpenAcc).len(), 2);
+        assert_eq!(compilers_for(Model::OpenMp).len(), 3);
+    }
+}

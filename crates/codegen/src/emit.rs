@@ -1,0 +1,766 @@
+//! The code emitter: walks the SSA structure tree, materializing extracted
+//! e-graph solutions into C statements with `_vN` temporaries and optional
+//! bulk-load scheduling.
+
+use crate::types::{promote, TypeMap};
+use accsat_egraph::{EGraph, Id, Node, Op};
+use accsat_extract::Selection;
+use accsat_ir::{AssignOp, BinOp, Block, Expr, LValue, Stmt, Type, UnOp};
+use accsat_ssa::{SsaKernel, SsaNode, Target};
+use std::collections::{HashMap, HashSet};
+
+/// Code generation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodegenOptions {
+    /// Enable bulk load (§VI-B): hoist each load to the earliest point in
+    /// its declaration scope where its dependencies are resolved, sorting
+    /// simultaneous loads by array and static index.
+    pub bulk_load: bool,
+}
+
+/// Generate a new kernel body from the SSA tree and the extracted selection.
+pub fn generate(
+    kernel: &SsaKernel,
+    sel: &Selection,
+    tm: &TypeMap,
+    opts: &CodegenOptions,
+) -> Block {
+    let analysis = Analysis::run(kernel, sel);
+    let mut em = Emitter {
+        eg: &kernel.egraph,
+        sel,
+        tm: tm.clone(),
+        opts: *opts,
+        use_remaining: analysis.use_count.clone(),
+        temp_lca: analysis.temp_lca,
+        named_phis: analysis.named_phis,
+        avail: HashMap::new(),
+        volatile_var: HashMap::new(),
+        var_binding: HashMap::new(),
+        current_state: HashMap::new(),
+        state_names: HashMap::new(),
+        temp_counter: 0,
+        type_memo: HashMap::new(),
+    };
+    // initial availability: parameters/outer values by name; arrays by state
+    for (name, class) in &kernel.initial_values {
+        let class = em.eg.find(*class);
+        if kernel.array_names.iter().any(|a| a == name) {
+            em.current_state.insert(name.clone(), class);
+            em.state_names.insert(class, name.clone());
+        } else {
+            em.avail.insert(class, Expr::Var(name.clone()));
+            em.volatile_var.insert(class, name.clone());
+            em.var_binding.insert(name.clone(), class);
+        }
+    }
+    let stmts = em.emit_block(&kernel.nodes, &BlockPath::root());
+    Block::new(stmts)
+}
+
+// ---------------------------------------------------------------- analysis
+
+/// Block identity: path of (item index, branch discriminator) pairs from
+/// the kernel root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BlockPath(Vec<(usize, usize)>);
+
+impl BlockPath {
+    fn root() -> BlockPath {
+        BlockPath(Vec::new())
+    }
+
+    fn child(&self, item: usize, branch: usize) -> BlockPath {
+        let mut v = self.0.clone();
+        v.push((item, branch));
+        BlockPath(v)
+    }
+
+    /// Longest common prefix of two block paths.
+    fn lca(&self, other: &BlockPath) -> BlockPath {
+        let mut v = Vec::new();
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            if a == b {
+                v.push(*a);
+            } else {
+                break;
+            }
+        }
+        BlockPath(v)
+    }
+
+    /// Item index within `ancestor` that leads toward `self` (or `item` if
+    /// `self == ancestor`, where `item` is the use site's own index).
+    fn item_within(&self, ancestor: &BlockPath, own_item: usize) -> usize {
+        if self.0.len() == ancestor.0.len() {
+            own_item
+        } else {
+            self.0[ancestor.0.len()].0
+        }
+    }
+}
+
+struct Analysis {
+    /// Reference-edge counts per canonical class.
+    use_count: HashMap<Id, usize>,
+    /// For classes that receive temporaries: (declaration block, first item
+    /// index in that block before which the temp must exist).
+    temp_lca: HashMap<Id, (BlockPath, usize)>,
+    /// Classes that are φ values (materialized through variable names).
+    named_phis: HashSet<Id>,
+}
+
+impl Analysis {
+    fn run(kernel: &SsaKernel, sel: &Selection) -> Analysis {
+        let eg = &kernel.egraph;
+        let mut a = AnalysisBuilder {
+            eg,
+            sel,
+            use_count: HashMap::new(),
+            use_sites: HashMap::new(),
+            named_phis: HashSet::new(),
+        };
+        collect_phis(eg, &kernel.nodes, &mut a.named_phis);
+        a.walk(&kernel.nodes, &BlockPath::root());
+
+        // temp-worthy classes: multi-use, loads, or calls
+        let mut temp_lca = HashMap::new();
+        for (&class, sites) in &a.use_sites {
+            let node = match sel.get(eg, class) {
+                Some(n) => n,
+                None => continue,
+            };
+            if a.named_phis.contains(&class) {
+                continue;
+            }
+            let multi = a.use_count.get(&class).copied().unwrap_or(0) > 1;
+            let is_heavy = matches!(node.op, Op::Load | Op::Call(_));
+            if !(multi || is_heavy) {
+                continue;
+            }
+            if matches!(node.op, Op::Sym(_) | Op::Int(_) | Op::Float(_) | Op::LoopCond(_)) {
+                continue; // leaves are never temped
+            }
+            // LCA of all use sites
+            let (mut lca, mut item) = sites[0].clone();
+            for (p, i) in &sites[1..] {
+                let new_lca = lca.lca(p);
+                let it_a = lca.item_within(&new_lca, item);
+                let it_b = p.item_within(&new_lca, *i);
+                item = it_a.min(it_b);
+                lca = new_lca;
+            }
+            temp_lca.insert(class, (lca, item));
+        }
+        Analysis { use_count: a.use_count, temp_lca, named_phis: a.named_phis }
+    }
+}
+
+fn collect_phis(eg: &EGraph, nodes: &[SsaNode], out: &mut HashSet<Id>) {
+    for n in nodes {
+        match n {
+            SsaNode::If { then, els, phis, .. } => {
+                for (_, c) in phis {
+                    out.insert(eg.find(*c));
+                }
+                collect_phis(eg, then, out);
+                collect_phis(eg, els, out);
+            }
+            SsaNode::Loop { body, phis, .. } => {
+                for (_, entry, phi, _) in phis {
+                    out.insert(eg.find(*entry));
+                    out.insert(eg.find(*phi));
+                }
+                collect_phis(eg, body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct AnalysisBuilder<'a> {
+    eg: &'a EGraph,
+    sel: &'a Selection,
+    use_count: HashMap<Id, usize>,
+    use_sites: HashMap<Id, Vec<(BlockPath, usize)>>,
+    named_phis: HashSet<Id>,
+}
+
+impl<'a> AnalysisBuilder<'a> {
+    fn walk(&mut self, nodes: &[SsaNode], path: &BlockPath) {
+        for (i, n) in nodes.iter().enumerate() {
+            match n {
+                SsaNode::Assign { class, .. } => {
+                    let mut visited = HashSet::new();
+                    self.reference(*class, path, i, &mut visited);
+                }
+                SsaNode::If { then, els, .. } => {
+                    self.walk(then, &path.child(i, 0));
+                    self.walk(els, &path.child(i, 1));
+                }
+                SsaNode::Loop { body, .. } => {
+                    self.walk(body, &path.child(i, 0));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Record a reference edge to `class` from a use at (path, item).
+    fn reference(
+        &mut self,
+        class: Id,
+        path: &BlockPath,
+        item: usize,
+        visited: &mut HashSet<Id>,
+    ) {
+        let class = self.eg.find(class);
+        *self.use_count.entry(class).or_insert(0) += 1;
+        self.use_sites.entry(class).or_default().push((path.clone(), item));
+        if !visited.insert(class) {
+            return; // children already traversed for this statement
+        }
+        if self.named_phis.contains(&class) {
+            return; // φs materialize through their variable, not children
+        }
+        let node = match self.sel.get(self.eg, class) {
+            Some(n) => n.clone(),
+            None => return,
+        };
+        match node.op {
+            Op::Load => {
+                // children[0] is the array state — never materialized
+                for &c in &node.children[1..] {
+                    self.reference(c, path, item, visited);
+                }
+            }
+            Op::Store | Op::PhiLoop => {} // states/φ: no expression children
+            _ => {
+                for &c in &node.children {
+                    self.reference(c, path, item, visited);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- emission
+
+struct Emitter<'a> {
+    eg: &'a EGraph,
+    sel: &'a Selection,
+    tm: TypeMap,
+    opts: CodegenOptions,
+    use_remaining: HashMap<Id, usize>,
+    temp_lca: HashMap<Id, (BlockPath, usize)>,
+    named_phis: HashSet<Id>,
+    /// Class → expression currently yielding its value (temps are stable;
+    /// plain variable references are invalidated on reassignment).
+    avail: HashMap<Id, Expr>,
+    /// Classes whose availability is a plain variable reference.
+    volatile_var: HashMap<Id, String>,
+    /// Variable → class it currently holds.
+    var_binding: HashMap<String, Id>,
+    /// Array → current SSA state class.
+    current_state: HashMap<String, Id>,
+    /// State class → owning array name.
+    state_names: HashMap<Id, String>,
+    temp_counter: usize,
+    type_memo: HashMap<Id, Type>,
+}
+
+impl<'a> Emitter<'a> {
+    fn fresh_temp(&mut self) -> String {
+        let n = self.temp_counter;
+        self.temp_counter += 1;
+        format!("_v{n}")
+    }
+
+    fn remaining(&self, class: Id) -> usize {
+        self.use_remaining.get(&self.eg.find(class)).copied().unwrap_or(0)
+    }
+
+    /// Register a reference: decrement the remaining-use counter and
+    /// materialize.
+    fn reference(&mut self, class: Id, out: &mut Vec<Stmt>) -> Expr {
+        let class = self.eg.find(class);
+        if let Some(c) = self.use_remaining.get_mut(&class) {
+            *c = c.saturating_sub(1);
+        }
+        self.materialize(class, out)
+    }
+
+    /// Produce an expression for `class`, emitting temp declarations into
+    /// `out` as needed.
+    fn materialize(&mut self, class: Id, out: &mut Vec<Stmt>) -> Expr {
+        let class = self.eg.find(class);
+        if let Some(e) = self.avail.get(&class) {
+            return e.clone();
+        }
+        let node = self.sel.node(self.eg, class).clone();
+        let expr = self.node_expr(&node, out);
+        // scheduled temps and loads/calls always land in temporaries
+        let force_temp = self.temp_lca.contains_key(&class)
+            || matches!(node.op, Op::Load | Op::Call(_));
+        if force_temp {
+            let name = self.fresh_temp();
+            let ty = self.class_type(class);
+            out.push(Stmt::Decl { ty, name: name.clone(), init: Some(expr) });
+            self.avail.insert(class, Expr::Var(name));
+            self.avail[&class].clone()
+        } else {
+            expr
+        }
+    }
+
+    fn node_expr(&mut self, node: &Node, out: &mut Vec<Stmt>) -> Expr {
+        match &node.op {
+            Op::Int(v) => Expr::Int(*v),
+            Op::Float(bits) => Expr::Float(f64::from_bits(*bits)),
+            Op::Sym(name) => {
+                // entry symbols `x@L0` refer to variable x inside the loop
+                let base = name.split('@').next().unwrap_or(name).to_string();
+                Expr::Var(base)
+            }
+            Op::LoopCond(l) => {
+                panic!("loop condition {l} must never be materialized")
+            }
+            Op::PhiLoop => panic!(
+                "loop φ must be available as a variable; it cannot be recomputed"
+            ),
+            Op::Load => {
+                let state = self.eg.find(node.children[0]);
+                let array = self
+                    .state_names
+                    .get(&state)
+                    .unwrap_or_else(|| {
+                        panic!("load of a non-current array state {state}")
+                    })
+                    .clone();
+                debug_assert_eq!(
+                    self.current_state.get(&array).copied(),
+                    Some(state),
+                    "load must read the current state of `{array}`"
+                );
+                let indices: Vec<Expr> =
+                    node.children[1..].iter().map(|&c| self.reference(c, out)).collect();
+                Expr::Index { base: array, indices }
+            }
+            Op::Store => panic!("array states are never materialized as expressions"),
+            Op::Select => {
+                let c = self.reference(node.children[0], out);
+                let t = self.reference(node.children[1], out);
+                let e = self.reference(node.children[2], out);
+                Expr::Ternary { cond: Box::new(c), then: Box::new(t), els: Box::new(e) }
+            }
+            Op::Call(name) => {
+                let args: Vec<Expr> =
+                    node.children.iter().map(|&c| self.reference(c, out)).collect();
+                Expr::Call { name: name.clone(), args }
+            }
+            Op::Neg => {
+                let e = self.reference(node.children[0], out);
+                Expr::neg(e)
+            }
+            Op::Not => {
+                let e = self.reference(node.children[0], out);
+                Expr::Unary { op: UnOp::Not, operand: Box::new(e) }
+            }
+            Op::Fma => {
+                // fma(a, b, c) = a + b * c — emitted as the open form; the
+                // compilers (and our compiler models) fuse it back, exactly
+                // as NVHPC/GCC do under fastmath (paper Listing 3).
+                let a = self.reference(node.children[0], out);
+                let b = self.reference(node.children[1], out);
+                let c = self.reference(node.children[2], out);
+                Expr::bin(BinOp::Add, a, Expr::bin(BinOp::Mul, b, c))
+            }
+            Op::CastInt => {
+                let e = self.reference(node.children[0], out);
+                Expr::Cast { ty: Type::Int, expr: Box::new(e) }
+            }
+            Op::CastFloat => {
+                let e = self.reference(node.children[0], out);
+                Expr::Cast { ty: Type::Double, expr: Box::new(e) }
+            }
+            op => {
+                let l = self.reference(node.children[0], out);
+                let r = self.reference(node.children[1], out);
+                Expr::bin(op_to_binop(op), l, r)
+            }
+        }
+    }
+
+    /// Inferred C type of a class (via its selected node).
+    fn class_type(&mut self, class: Id) -> Type {
+        let class = self.eg.find(class);
+        if let Some(t) = self.type_memo.get(&class) {
+            return t.clone();
+        }
+        // insert a provisional value to cut (impossible) cycles
+        self.type_memo.insert(class, Type::Double);
+        let node = self.sel.node(self.eg, class).clone();
+        let ty = match &node.op {
+            Op::Int(_) => Type::Int,
+            Op::Float(_) => Type::Double,
+            Op::Sym(name) | Op::LoopCond(name) => self.tm.type_of(name),
+            Op::Load => {
+                let state = self.eg.find(node.children[0]);
+                match self.state_names.get(&state) {
+                    Some(a) => self.tm.type_of(a),
+                    None => Type::Double,
+                }
+            }
+            Op::Store => Type::Void,
+            Op::Call(_) => Type::Double,
+            Op::CastInt => Type::Int,
+            Op::CastFloat => Type::Double,
+            Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::Eq | Op::Ne | Op::And | Op::Or | Op::Not => {
+                Type::Int
+            }
+            Op::Neg => self.class_type(node.children[0]),
+            Op::Select | Op::PhiLoop => {
+                let a = self.class_type(node.children[1]);
+                let b = self.class_type(node.children[2]);
+                promote(&a, &b)
+            }
+            Op::Fma => Type::Double,
+            _ => {
+                let a = self.class_type(node.children[0]);
+                let b = self.class_type(node.children[1]);
+                promote(&a, &b)
+            }
+        };
+        self.type_memo.insert(class, ty.clone());
+        ty
+    }
+
+    // ------------------------------------------------------------ blocks
+
+    fn emit_block(&mut self, nodes: &[SsaNode], path: &BlockPath) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        // temps whose declaration scope is this block, grouped by first item
+        let mut scheduled: Vec<(Id, usize)> = self
+            .temp_lca
+            .iter()
+            .filter(|(_, (p, _))| p == path)
+            .map(|(&c, &(_, item))| (c, item))
+            .collect();
+        scheduled.sort_by_key(|&(_, item)| item);
+
+        for (i, node) in nodes.iter().enumerate() {
+            self.flush_scheduled(&mut scheduled, i, &mut out);
+            self.emit_item(node, path, i, &mut out);
+        }
+        self.flush_scheduled(&mut scheduled, usize::MAX, &mut out);
+        out
+    }
+
+    /// Emit scheduled temps due before item `next_item`. In bulk mode, also
+    /// emit any load temp whose dependencies are already resolved, sorted by
+    /// (array, static index) — the bulk-load transformation.
+    fn flush_scheduled(
+        &mut self,
+        scheduled: &mut Vec<(Id, usize)>,
+        next_item: usize,
+        out: &mut Vec<Stmt>,
+    ) {
+        // 1. everything that is due now
+        let mut due: Vec<Id> = Vec::new();
+        scheduled.retain(|&(c, item)| {
+            if item <= next_item && self.avail.get(&c).is_none() {
+                due.push(c);
+                false
+            } else {
+                item > next_item // drop already-materialized entries
+            }
+        });
+        // 2. bulk: eagerly take ready loads scheduled for later
+        if self.opts.bulk_load {
+            let mut ready: Vec<Id> = Vec::new();
+            scheduled.retain(|&(c, _)| {
+                if self.avail.contains_key(&c) {
+                    return false;
+                }
+                let node = self.sel.node(self.eg, c);
+                if node.op == Op::Load && self.deps_ready(c, &mut HashSet::new()) {
+                    ready.push(c);
+                    false
+                } else {
+                    true
+                }
+            });
+            // sort bulk loads by (array, static index text)
+            ready.sort_by_key(|&c| self.load_sort_key(c));
+            due.extend(ready);
+            // also sort the due loads themselves so the bulk region is tidy
+            let (mut loads, others): (Vec<Id>, Vec<Id>) = due
+                .into_iter()
+                .partition(|&c| self.sel.node(self.eg, c).op == Op::Load);
+            loads.sort_by_key(|&c| self.load_sort_key(c));
+            due = others.into_iter().chain(loads).collect();
+        }
+        for c in due {
+            if self.avail.contains_key(&self.eg.find(c)) {
+                continue;
+            }
+            self.materialize(c, out);
+        }
+    }
+
+    fn load_sort_key(&self, class: Id) -> (String, Vec<String>) {
+        let node = self.sel.node(self.eg, class);
+        let state = self.eg.find(node.children[0]);
+        let array = self.state_names.get(&state).cloned().unwrap_or_default();
+        let idx: Vec<String> =
+            node.children[1..].iter().map(|&c| self.sel.term_string(self.eg, c)).collect();
+        (array, idx)
+    }
+
+    /// Can `class` be computed right now (states current, φs available)?
+    fn deps_ready(&self, class: Id, seen: &mut HashSet<Id>) -> bool {
+        let class = self.eg.find(class);
+        if self.avail.contains_key(&class) {
+            return true;
+        }
+        if !seen.insert(class) {
+            return true;
+        }
+        if self.named_phis.contains(&class) {
+            return false; // wait until the φ variable exists
+        }
+        let node = match self.sel.get(self.eg, class) {
+            Some(n) => n,
+            None => return false,
+        };
+        match &node.op {
+            Op::PhiLoop | Op::LoopCond(_) | Op::Store => false,
+            Op::Sym(name) => !name.contains('@'), // entry syms need avail
+            Op::Load => {
+                let state = self.eg.find(node.children[0]);
+                match self.state_names.get(&state) {
+                    Some(a) => {
+                        self.current_state.get(a).copied() == Some(state)
+                            && node.children[1..].iter().all(|&c| self.deps_ready(c, seen))
+                    }
+                    None => false,
+                }
+            }
+            _ => node.children.iter().all(|&c| self.deps_ready(c, seen)),
+        }
+    }
+
+    // ------------------------------------------------------------ items
+
+    fn emit_item(&mut self, node: &SsaNode, path: &BlockPath, item: usize, out: &mut Vec<Stmt>) {
+        match node {
+            SsaNode::Decl { name, ty } => {
+                self.tm.insert(name, ty.clone());
+                out.push(Stmt::Decl { ty: ty.clone(), name: name.clone(), init: None });
+            }
+            SsaNode::Assign { target, class, state_class } => {
+                self.emit_assign(target, *class, *state_class, out);
+            }
+            SsaNode::If { cond, then, els, has_else, phis, .. } => {
+                // capture values endangered by branch assignments
+                let assigned: Vec<String> = phis.iter().map(|(n, _)| n.clone()).collect();
+                self.capture_endangered(&assigned, out);
+
+                let snapshot = self.snapshot();
+                let then_stmts = self.emit_block(then, &path.child(item, 0));
+                self.restore(snapshot.clone());
+                let els_stmts = if *has_else || !els.is_empty() {
+                    let s = self.emit_block(els, &path.child(item, 1));
+                    self.restore(snapshot);
+                    Some(s)
+                } else {
+                    self.restore(snapshot);
+                    None
+                };
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then: Block::new(then_stmts),
+                    els: els_stmts.map(Block::new),
+                });
+                // φ values are now available through their variables
+                for (name, phi) in phis {
+                    self.bind_phi(name, *phi);
+                }
+            }
+            SsaNode::Loop { header, body, phis } => {
+                let assigned: Vec<String> = phis.iter().map(|(n, _, _, _)| n.clone()).collect();
+                self.capture_endangered(&assigned, out);
+
+                let snapshot = self.snapshot();
+                // inside the body, each φ'd name holds its entry value
+                for (name, entry, _, _) in phis {
+                    self.bind_entry(name, *entry);
+                }
+                let body_stmts = self.emit_block(body, &path.child(item, 0));
+                self.restore(snapshot);
+                let mut l = header.clone();
+                l.body = Block::new(body_stmts);
+                out.push(Stmt::For(l));
+                for (name, _, phi, _) in phis {
+                    if name == &header.var && header.declares_var {
+                        continue; // scoped induction variable dies here
+                    }
+                    self.bind_phi(name, *phi);
+                }
+            }
+            SsaNode::Opaque(s) => out.push(s.clone()),
+        }
+    }
+
+    fn emit_assign(
+        &mut self,
+        target: &Target,
+        class: Id,
+        state_class: Option<Id>,
+        out: &mut Vec<Stmt>,
+    ) {
+        let class = self.eg.find(class);
+        match target {
+            Target::Scalar { name, decl_ty } => {
+                self.capture_endangered(std::slice::from_ref(name), out);
+                let rhs = self.reference(class, out);
+                match decl_ty {
+                    Some(ty) => {
+                        self.tm.insert(name, ty.clone());
+                        out.push(Stmt::Decl {
+                            ty: ty.clone(),
+                            name: name.clone(),
+                            init: Some(rhs),
+                        });
+                    }
+                    None => out.push(Stmt::Assign {
+                        lhs: LValue::Var(name.clone()),
+                        op: AssignOp::Assign,
+                        rhs,
+                    }),
+                }
+                self.var_binding.insert(name.clone(), class);
+                if !self.avail.contains_key(&class) {
+                    self.avail.insert(class, Expr::Var(name.clone()));
+                    self.volatile_var.insert(class, name.clone());
+                }
+            }
+            Target::Store { base, index_exprs, .. } => {
+                let rhs = self.reference(class, out);
+                out.push(Stmt::Assign {
+                    lhs: LValue::Index { base: base.clone(), indices: index_exprs.clone() },
+                    op: AssignOp::Assign,
+                    rhs,
+                });
+                let state = self.eg.find(state_class.expect("store has a state class"));
+                self.current_state.insert(base.clone(), state);
+                self.state_names.insert(state, base.clone());
+            }
+        }
+    }
+
+    /// Before names in `assigned` are overwritten: any class whose current
+    /// availability is a plain reference to one of those variables, and
+    /// which is still needed later, gets captured into a temp.
+    fn capture_endangered(&mut self, assigned: &[String], out: &mut Vec<Stmt>) {
+        let endangered: Vec<(Id, String)> = self
+            .volatile_var
+            .iter()
+            .filter(|(c, v)| assigned.contains(v) && self.remaining(**c) > 0)
+            .map(|(&c, v)| (c, v.clone()))
+            .collect();
+        for (class, var) in endangered {
+            // skip capture when the variable still holds this exact class and
+            // the assignment would write the same class back (no-op)
+            let name = self.fresh_temp();
+            let ty = self.class_type(class);
+            out.push(Stmt::Decl {
+                ty,
+                name: name.clone(),
+                init: Some(Expr::Var(var)),
+            });
+            self.avail.insert(class, Expr::Var(name));
+            self.volatile_var.remove(&class);
+        }
+    }
+
+    fn bind_phi(&mut self, name: &str, phi: Id) {
+        let phi = self.eg.find(phi);
+        if self.current_state.contains_key(name) || self.state_names.contains_key(&phi) {
+            // array φ: the array's current state after the merge
+            self.current_state.insert(name.to_string(), phi);
+            self.state_names.insert(phi, name.to_string());
+            return;
+        }
+        // scalar φ — but names can also be arrays seen for the first time
+        if self.tm.type_of(name) != Type::Void {
+            self.var_binding.insert(name.to_string(), phi);
+            if !self.avail.contains_key(&phi) {
+                self.avail.insert(phi, Expr::Var(name.to_string()));
+                self.volatile_var.insert(phi, name.to_string());
+            }
+        }
+    }
+
+    fn bind_entry(&mut self, name: &str, entry: Id) {
+        let entry = self.eg.find(entry);
+        if self.current_state.contains_key(name) {
+            self.current_state.insert(name.to_string(), entry);
+            self.state_names.insert(entry, name.to_string());
+            return;
+        }
+        self.var_binding.insert(name.to_string(), entry);
+        if !self.avail.contains_key(&entry) {
+            self.avail.insert(entry, Expr::Var(name.to_string()));
+            self.volatile_var.insert(entry, name.to_string());
+        }
+    }
+
+    // ------------------------------------------------------------ scoping
+
+    fn snapshot(&self) -> EmitterSnapshot {
+        EmitterSnapshot {
+            avail: self.avail.clone(),
+            volatile_var: self.volatile_var.clone(),
+            var_binding: self.var_binding.clone(),
+            current_state: self.current_state.clone(),
+            state_names: self.state_names.clone(),
+        }
+    }
+
+    fn restore(&mut self, s: EmitterSnapshot) {
+        self.avail = s.avail;
+        self.volatile_var = s.volatile_var;
+        self.var_binding = s.var_binding;
+        self.current_state = s.current_state;
+        self.state_names = s.state_names;
+    }
+}
+
+#[derive(Clone)]
+struct EmitterSnapshot {
+    avail: HashMap<Id, Expr>,
+    volatile_var: HashMap<Id, String>,
+    var_binding: HashMap<String, Id>,
+    current_state: HashMap<String, Id>,
+    state_names: HashMap<Id, String>,
+}
+
+fn op_to_binop(op: &Op) -> BinOp {
+    match op {
+        Op::Add => BinOp::Add,
+        Op::Sub => BinOp::Sub,
+        Op::Mul => BinOp::Mul,
+        Op::Div => BinOp::Div,
+        Op::Mod => BinOp::Mod,
+        Op::Lt => BinOp::Lt,
+        Op::Le => BinOp::Le,
+        Op::Gt => BinOp::Gt,
+        Op::Ge => BinOp::Ge,
+        Op::Eq => BinOp::Eq,
+        Op::Ne => BinOp::Ne,
+        Op::And => BinOp::And,
+        Op::Or => BinOp::Or,
+        other => panic!("`{}` is not a binary operator", other.name()),
+    }
+}

@@ -1,0 +1,195 @@
+//! `accsat-compilers` — models of the NVHPC, GCC, and Clang directive
+//! compilers.
+//!
+//! The paper's baselines differ because each compiler maps directives to
+//! hardware differently (§II-B, §VIII). This crate encodes those published
+//! behaviours so the simulated baselines reproduce the paper's relative
+//! standings:
+//!
+//! * **NVHPC** generates "embarrassingly parallel" code, honours
+//!   gang/worker/vector clauses, defaults to `vector_length(128)`, performs
+//!   strong redundant-load elimination, and allocates registers well. The
+//!   headroom ACC Saturator finds on NVHPC is therefore mostly *reordering*
+//!   (bulk load) and FMA discovery — matching Fig. 2 where CSE ≈ 1.0×.
+//! * **GCC** uses a principal-agent model. Its OpenACC `kernels` support is
+//!   immature (paper §VIII: "inadequate parallelism, likely due to the
+//!   immature support of OpenACC's kernels directive"): vector clauses are
+//!   ignored and blocks run 32 threads, leaving kernels latency-bound —
+//!   which is why bulk load yields its largest wins there (2.2×, 5.08×).
+//!   Its redundant-load elimination window is narrow, so source-level CSE
+//!   helps (olbm 1.32×). OpenMP codegen has high register pressure.
+//! * **Clang** (OpenMP only) sits between the two.
+
+pub mod model;
+pub mod nest;
+pub mod vn;
+
+pub use model::{compile_kernel, CompiledKernel, Compiler, CompilerModel};
+pub use nest::{analyze_nest, LoopNest};
+pub use vn::eliminate_redundant_loads;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accsat_gpusim::{run_kernel, Device};
+    use accsat_ir::parse_program;
+    use std::collections::HashMap;
+
+    const BT_LIKE: &str = r#"
+void z_solve(double lhsZ[5][5][3][64][8][8], double fjacZ[5][5][64][8][8],
+             double njacZ[5][5][64][8][8], double dt, double tz1, double tz2,
+             double dz1, int ksize, int gp02, int gp12) {
+  #pragma acc parallel loop gang num_gangs(63) num_workers(4) vector_length(32)
+  for (int k = 1; k <= 63; k++) {
+    #pragma acc loop worker
+    for (int i = 1; i <= gp02; i++) {
+      #pragma acc loop vector
+      for (int j = 1; j <= gp12; j++) {
+        double temp1 = dt * tz1;
+        double temp2 = dt * tz2;
+        lhsZ[0][0][0][k][i][j] = -temp2 * fjacZ[0][0][k - 1][i][j]
+          - temp1 * njacZ[0][0][k - 1][i][j] - temp1 * dz1;
+        lhsZ[0][1][0][k][i][j] = -temp2 * fjacZ[0][1][k - 1][i][j]
+          - temp1 * njacZ[0][1][k - 1][i][j];
+      }
+    }
+  }
+}
+"#;
+
+    fn bindings() -> HashMap<String, i64> {
+        [("ksize", 64), ("gp02", 6), ("gp12", 6)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
+    #[test]
+    fn nvhpc_honours_clauses() {
+        let prog = parse_program(BT_LIKE).unwrap();
+        let cm = CompilerModel::new(Compiler::Nvhpc, accsat_ir::Model::OpenAcc);
+        let k = compile_kernel(&prog.functions[0], &cm, &bindings()).unwrap();
+        assert_eq!(k.launch.grid_blocks, 63);
+        // 4 workers × 32 vector = 128 threads = 4 warps
+        assert_eq!(k.launch.warps_per_block, 4);
+        assert_eq!(k.vector_var, "j");
+    }
+
+    #[test]
+    fn gcc_kernels_directive_degrades_parallelism() {
+        let src = BT_LIKE.replace("acc parallel loop", "acc kernels loop");
+        let prog = parse_program(&src).unwrap();
+        let cm = CompilerModel::new(Compiler::Gcc, accsat_ir::Model::OpenAcc);
+        let k = compile_kernel(&prog.functions[0], &cm, &bindings()).unwrap();
+        // GCC's immature kernels support: 32-thread blocks, workers ignored
+        assert_eq!(k.launch.warps_per_block, 1);
+    }
+
+    #[test]
+    fn nvhpc_dedupes_redundant_loads_gcc_does_not() {
+        // same load twice, far apart in the statement list
+        let src = r#"
+void k(double a[64][64], double out[64][64], int n) {
+  #pragma acc parallel loop gang vector_length(64)
+  for (int i = 0; i < 64; i++) {
+    #pragma acc loop vector
+    for (int j = 0; j < 64; j++) {
+      out[i][j] = a[i][j] * 2.0;
+      out[j][i] = a[i][j] * 3.0;
+    }
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let b = HashMap::new();
+        let nv = compile_kernel(
+            &prog.functions[0],
+            &CompilerModel::new(Compiler::Nvhpc, accsat_ir::Model::OpenAcc),
+            &b,
+        )
+        .unwrap();
+        let gcc = compile_kernel(
+            &prog.functions[0],
+            &CompilerModel::new(Compiler::Gcc, accsat_ir::Model::OpenAcc),
+            &b,
+        )
+        .unwrap();
+        let (_, _, _, nv_loads, _) = nv.trace.op_counts();
+        let (_, _, _, gcc_loads, _) = gcc.trace.op_counts();
+        assert_eq!(nv_loads, 1, "NVHPC folds the duplicate load");
+        assert_eq!(gcc_loads, 2, "GCC's narrow VN window keeps both");
+    }
+
+    #[test]
+    fn gcc_omp_register_pressure_exceeds_nvhpc() {
+        let src = r#"
+void k(double a[64][64], double out[64][64]) {
+  #pragma omp target teams distribute
+  for (int i = 1; i < 63; i++) {
+    #pragma omp parallel for simd
+    for (int j = 1; j < 63; j++) {
+      out[i][j] = a[i - 1][j] + a[i + 1][j] + a[i][j - 1] + a[i][j + 1]
+        + a[i][j] * 4.0;
+    }
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let b = HashMap::new();
+        let nv = compile_kernel(
+            &prog.functions[0],
+            &CompilerModel::new(Compiler::Nvhpc, accsat_ir::Model::OpenMp),
+            &b,
+        )
+        .unwrap();
+        let gcc = compile_kernel(
+            &prog.functions[0],
+            &CompilerModel::new(Compiler::Gcc, accsat_ir::Model::OpenMp),
+            &b,
+        )
+        .unwrap();
+        assert!(
+            gcc.launch.regs_per_thread > nv.launch.regs_per_thread,
+            "GCC OMP {} regs vs NVHPC {} regs",
+            gcc.launch.regs_per_thread,
+            nv.launch.regs_per_thread
+        );
+    }
+
+    #[test]
+    fn end_to_end_simulation_produces_time() {
+        let prog = parse_program(BT_LIKE).unwrap();
+        let cm = CompilerModel::new(Compiler::Nvhpc, accsat_ir::Model::OpenAcc);
+        let k = compile_kernel(&prog.functions[0], &cm, &bindings()).unwrap();
+        let dev = Device::a100_pcie_40gb();
+        let m = run_kernel(&k.trace, &k.launch, &dev);
+        assert!(m.time_ms > 0.0);
+        assert!(m.instructions > 0.0);
+        assert!(m.occupancy > 0.0 && m.occupancy <= 1.0);
+    }
+
+    #[test]
+    fn gcc_baseline_is_slower_than_nvhpc_on_acc() {
+        // the paper's Table II: GCC original times exceed NVHPC's
+        let prog = parse_program(BT_LIKE).unwrap();
+        let dev = Device::a100_pcie_40gb();
+        let b = bindings();
+        let nv = compile_kernel(
+            &prog.functions[0],
+            &CompilerModel::new(Compiler::Nvhpc, accsat_ir::Model::OpenAcc),
+            &b,
+        )
+        .unwrap();
+        let src_kernels = BT_LIKE.replace("acc parallel loop", "acc kernels loop");
+        let prog_k = parse_program(&src_kernels).unwrap();
+        let gcc = compile_kernel(
+            &prog_k.functions[0],
+            &CompilerModel::new(Compiler::Gcc, accsat_ir::Model::OpenAcc),
+            &b,
+        )
+        .unwrap();
+        let t_nv = run_kernel(&nv.trace, &nv.launch, &dev).time_ms;
+        let t_gcc = run_kernel(&gcc.trace, &gcc.launch, &dev).time_ms;
+        assert!(t_gcc > t_nv, "GCC {t_gcc} ms vs NVHPC {t_nv} ms");
+    }
+}

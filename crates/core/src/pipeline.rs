@@ -1,0 +1,281 @@
+//! The ACC Saturator pipeline: SSA → e-graph → saturation → extraction →
+//! code generation, per innermost parallel loop.
+
+use accsat_codegen::{generate, CodegenOptions, TypeMap};
+use accsat_egraph::{all_rules, Runner, RunnerLimits, StopReason};
+use accsat_extract::{extract, CostModel};
+use accsat_ir::{Block, Function, Program, Stmt};
+use std::time::{Duration, Instant};
+
+/// The generated-code variants of the evaluation (§VIII).
+///
+/// * `Cse` — e-graph round-trip without rewriting: hash-consing alone
+///   eliminates redundant loads and expressions.
+/// * `CseSat` — plus equality saturation (Table I rules + constant folding).
+/// * `CseBulk` — CSE plus bulk load reordering.
+/// * `AccSat` — the full tool: CSE + saturation + bulk load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    Original,
+    Cse,
+    CseSat,
+    CseBulk,
+    AccSat,
+}
+
+impl Variant {
+    /// All evaluated variants, in the paper's plotting order.
+    pub fn all() -> [Variant; 4] {
+        [Variant::Cse, Variant::CseSat, Variant::CseBulk, Variant::AccSat]
+    }
+
+    /// Does this variant run equality saturation?
+    pub fn saturates(&self) -> bool {
+        matches!(self, Variant::CseSat | Variant::AccSat)
+    }
+
+    /// Does this variant reorder loads (bulk load)?
+    pub fn bulk_loads(&self) -> bool {
+        matches!(self, Variant::CseBulk | Variant::AccSat)
+    }
+
+    /// Display label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Original => "Original",
+            Variant::Cse => "CSE",
+            Variant::CseSat => "CSE+SAT",
+            Variant::CseBulk => "CSE+BULK",
+            Variant::AccSat => "ACCSAT",
+        }
+    }
+}
+
+/// Saturation / extraction configuration. Defaults mirror §VII: 10 000
+/// e-nodes, 10 iterations, 10 s saturation, 30 s extraction (scaled down for
+/// the in-repo benchmarks, which are far smaller than full NPB kernels).
+#[derive(Debug, Clone)]
+pub struct SaturatorConfig {
+    pub limits: RunnerLimits,
+    pub extraction_budget: Duration,
+    pub cost_model: CostModel,
+}
+
+impl Default for SaturatorConfig {
+    fn default() -> SaturatorConfig {
+        SaturatorConfig {
+            limits: RunnerLimits::default(),
+            extraction_budget: Duration::from_millis(500),
+            cost_model: CostModel::paper(),
+        }
+    }
+}
+
+/// Per-kernel optimization statistics (the §VII timing numbers).
+#[derive(Debug, Clone)]
+pub struct OptStats {
+    pub function: String,
+    /// SSA construction + code generation time.
+    pub ssa_codegen: Duration,
+    /// Equality saturation time.
+    pub saturation: Duration,
+    /// Extraction time.
+    pub extraction: Duration,
+    /// Total e-nodes in the kernel's e-graph after processing.
+    pub egraph_nodes: usize,
+    /// Saturation iterations performed.
+    pub saturation_iters: usize,
+    /// Why saturation stopped.
+    pub stop_reason: Option<StopReason>,
+    /// Total extracted DAG cost under the paper cost model.
+    pub extracted_cost: u64,
+}
+
+/// Optimize every kernel (innermost parallel loop) of a function.
+pub fn optimize_function(
+    f: &Function,
+    variant: Variant,
+    config: &SaturatorConfig,
+) -> Result<(Function, Vec<OptStats>), String> {
+    if variant == Variant::Original {
+        return Ok((f.clone(), Vec::new()));
+    }
+    let mut out = f.clone();
+    let mut stats = Vec::new();
+    let tm = TypeMap::from_function(f);
+    optimize_block(&mut out.body, variant, config, &tm, &f.name, &mut stats)?;
+    Ok((out, stats))
+}
+
+fn optimize_block(
+    b: &mut Block,
+    variant: Variant,
+    config: &SaturatorConfig,
+    tm: &TypeMap,
+    fname: &str,
+    stats: &mut Vec<OptStats>,
+) -> Result<(), String> {
+    for s in &mut b.stmts {
+        match s {
+            Stmt::For(l) => {
+                if l.directive.is_some() && !accsat_ir::has_directive_loop(&l.body) {
+                    let (new_body, st) =
+                        optimize_kernel_body(&l.body, variant, config, tm, fname)?;
+                    l.body = new_body;
+                    stats.push(st);
+                } else {
+                    optimize_block(&mut l.body, variant, config, tm, fname, stats)?;
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                optimize_block(then, variant, config, tm, fname, stats)?;
+                if let Some(e) = els {
+                    optimize_block(e, variant, config, tm, fname, stats)?;
+                }
+            }
+            Stmt::While { body, .. } => {
+                optimize_block(body, variant, config, tm, fname, stats)?;
+            }
+            Stmt::Block(inner) => {
+                optimize_block(inner, variant, config, tm, fname, stats)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Run the e-graph pipeline on one kernel body.
+pub fn optimize_kernel_body(
+    body: &Block,
+    variant: Variant,
+    config: &SaturatorConfig,
+    tm: &TypeMap,
+    fname: &str,
+) -> Result<(Block, OptStats), String> {
+    // 1. SSA construction (paper step ①)
+    let t0 = Instant::now();
+    let mut kernel = accsat_ssa::build_kernel(body);
+    let ssa_time = t0.elapsed();
+
+    // 2. equality saturation (step ②)
+    let t1 = Instant::now();
+    let (iters, stop) = if variant.saturates() {
+        let runner = Runner::new(all_rules()).with_limits(config.limits);
+        let report = runner.run(&mut kernel.egraph);
+        (report.iterations.len(), Some(report.stop_reason))
+    } else {
+        kernel.egraph.rebuild();
+        (0, None)
+    };
+    let sat_time = t1.elapsed();
+
+    // 3. extraction (LP objective, step ② part II)
+    let t2 = Instant::now();
+    let roots = kernel.extraction_roots();
+    let cm = config.cost_model;
+    let selection = extract(&kernel.egraph, &roots, &cm, config.extraction_budget);
+    let cost = selection.dag_cost(&kernel.egraph, &cm, &roots);
+    let extract_time = t2.elapsed();
+
+    // 4. code generation (step ③)
+    let t3 = Instant::now();
+    let opts = CodegenOptions { bulk_load: variant.bulk_loads() };
+    let new_body = generate(&kernel, &selection, tm, &opts);
+    let codegen_time = t3.elapsed();
+
+    Ok((
+        new_body,
+        OptStats {
+            function: fname.to_string(),
+            ssa_codegen: ssa_time + codegen_time,
+            saturation: sat_time,
+            extraction: extract_time,
+            egraph_nodes: kernel.egraph.total_nodes(),
+            saturation_iters: iters,
+            stop_reason: stop,
+            extracted_cost: cost,
+        },
+    ))
+}
+
+/// Optimize every function of a program.
+pub fn optimize_program(
+    prog: &Program,
+    variant: Variant,
+) -> Result<(Program, Vec<OptStats>), String> {
+    optimize_program_with(prog, variant, &SaturatorConfig::default())
+}
+
+/// Optimize with an explicit configuration.
+pub fn optimize_program_with(
+    prog: &Program,
+    variant: Variant,
+    config: &SaturatorConfig,
+) -> Result<(Program, Vec<OptStats>), String> {
+    let mut functions = Vec::with_capacity(prog.functions.len());
+    let mut stats = Vec::new();
+    for f in &prog.functions {
+        let (nf, st) = optimize_function(f, variant, config)?;
+        functions.push(nf);
+        stats.extend(st);
+    }
+    Ok((Program { functions }, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accsat_ir::parse_program;
+
+    #[test]
+    fn variant_properties() {
+        assert!(!Variant::Cse.saturates());
+        assert!(!Variant::Cse.bulk_loads());
+        assert!(Variant::CseSat.saturates());
+        assert!(!Variant::CseSat.bulk_loads());
+        assert!(!Variant::CseBulk.saturates());
+        assert!(Variant::CseBulk.bulk_loads());
+        assert!(Variant::AccSat.saturates());
+        assert!(Variant::AccSat.bulk_loads());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let src = r#"
+void k(double a[32], double out[32], double c) {
+  #pragma acc parallel loop gang vector
+  for (int i = 1; i < 31; i++) {
+    out[i] = c * a[i - 1] + c * a[i] + c * a[i + 1];
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let (_, stats) = optimize_program(&prog, Variant::AccSat).unwrap();
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.function, "k");
+        assert!(s.egraph_nodes > 10);
+        assert!(s.extracted_cost > 0);
+        assert!(s.stop_reason.is_some());
+    }
+
+    #[test]
+    fn multiple_kernels_in_one_function() {
+        let src = r#"
+void two(double a[32], double b[32]) {
+  #pragma acc parallel loop gang vector
+  for (int i = 0; i < 32; i++) {
+    a[i] = a[i] * 2.0;
+  }
+  #pragma acc parallel loop gang vector
+  for (int i = 0; i < 32; i++) {
+    b[i] = b[i] + 1.0;
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let (_, stats) = optimize_program(&prog, Variant::Cse).unwrap();
+        assert_eq!(stats.len(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Plain-text rendering of tables and figure series (the bench harness
+//! prints the same rows the paper's tables and figures report).
+
+/// Render an ASCII table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = row.get(i).unwrap_or(&empty);
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Format one figure row: benchmark name plus speedups per variant.
+pub fn format_speedup_row(name: &str, speedups: &[(&str, f64)]) -> String {
+    let mut s = format!("{name:>10}:");
+    for (label, v) in speedups {
+        s.push_str(&format!("  {label}={v:.2}x"));
+    }
+    s
+}
+
+/// Geometric-mean-free average as the paper reports ("average speedups").
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["Name", "Time"],
+            &[
+                vec!["BT".into(), "14.85s".into()],
+                vec!["CG".into(), "1.27s".into()],
+            ],
+        );
+        assert!(t.contains("| Name | Time   |"));
+        assert!(t.contains("| BT   | 14.85s |"));
+        assert!(t.lines().all(|l| l.len() == t.lines().next().unwrap().len()));
+    }
+
+    #[test]
+    fn speedup_row_format() {
+        let r = format_speedup_row("BT", &[("CSE", 1.01), ("ACCSAT", 1.21)]);
+        assert!(r.contains("CSE=1.01x"));
+        assert!(r.contains("ACCSAT=1.21x"));
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! `accsat-egraph` — a from-scratch e-graph and equality-saturation engine.
+//!
+//! This crate is the substrate the paper obtains from the `egg` library
+//! (Willsey et al., POPL 2021): a congruence-closure data structure over a
+//! term language, e-matching of rewrite patterns, and a saturation runner
+//! with node/iteration/time limits. It is purpose-built for ACC Saturator's
+//! SSA term language (arithmetic, FMA, loads/stores, φ nodes, calls) rather
+//! than generic over a user language, which keeps the code direct while
+//! exercising the same algorithms:
+//!
+//! * [`UnionFind`] — path-halving union-find over e-class ids.
+//! * [`EGraph`] — hash-consed e-nodes grouped into e-classes, with deferred
+//!   congruence restoration ([`EGraph::rebuild`], the egg "rebuilding"
+//!   algorithm) and an attached constant-folding analysis.
+//! * [`Pattern`] — s-expression rewrite patterns with `?x` variables and a
+//!   backtracking e-matcher.
+//! * [`Rewrite`] / [`Runner`] — rule application until saturation or limits,
+//!   mirroring the paper's bounds (10 000 e-nodes, 10 iterations, 10 s).
+//! * [`rules`] — Table I of the paper: FMA introduction, commutativity,
+//!   associativity, plus constant folding.
+
+pub mod analysis;
+pub mod egraph;
+pub mod node;
+pub mod pattern;
+pub mod rewrite;
+pub mod rules;
+pub mod runner;
+pub mod unionfind;
+
+pub use analysis::ConstValue;
+pub use egraph::{EClass, EGraph};
+pub use node::{Id, Node, Op};
+pub use pattern::{parse_pattern, Pattern, PatternNode, Subst};
+pub use rewrite::Rewrite;
+pub use rules::{all_rules, assoc_rules, comm_rules, fma_rules, reorder_rules, rule_by_name};
+pub use runner::{Runner, RunnerLimits, RunnerReport, StopReason};
+pub use unionfind::UnionFind;

@@ -1,0 +1,129 @@
+//! Rewrite rules: a named left-hand pattern, right-hand pattern, and an
+//! optional side condition on the matched substitution.
+
+use crate::egraph::EGraph;
+use crate::node::Id;
+use crate::pattern::{parse_pattern, Pattern, Subst};
+
+/// Side condition evaluated on every match before application.
+pub type Condition = fn(&EGraph, &Subst) -> bool;
+
+/// A rewrite rule `lhs → rhs`.
+#[derive(Clone)]
+pub struct Rewrite {
+    pub name: String,
+    pub lhs: Pattern,
+    pub rhs: Pattern,
+    pub condition: Option<Condition>,
+}
+
+impl std::fmt::Debug for Rewrite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rewrite")
+            .field("name", &self.name)
+            .field("conditional", &self.condition.is_some())
+            .finish()
+    }
+}
+
+impl Rewrite {
+    /// Build a rule from pattern strings. Panics on malformed patterns —
+    /// rules are compile-time constants of the tool.
+    pub fn new(name: &str, lhs: &str, rhs: &str) -> Rewrite {
+        let lhs_p = parse_pattern(lhs).unwrap_or_else(|e| panic!("rule {name}: bad lhs: {e}"));
+        let rhs_p = parse_pattern(rhs).unwrap_or_else(|e| panic!("rule {name}: bad rhs: {e}"));
+        // every rhs variable must be bound by the lhs
+        let lhs_vars = lhs_p.vars();
+        for v in rhs_p.vars() {
+            assert!(
+                lhs_vars.contains(&v),
+                "rule {name}: rhs variable ?{v} not bound by lhs"
+            );
+        }
+        Rewrite { name: name.to_string(), lhs: lhs_p, rhs: rhs_p, condition: None }
+    }
+
+    /// Attach a side condition.
+    pub fn with_condition(mut self, cond: Condition) -> Rewrite {
+        self.condition = Some(cond);
+        self
+    }
+
+    /// Search the whole e-graph for matches of `lhs`.
+    pub fn search(&self, eg: &EGraph) -> Vec<(Id, Subst)> {
+        let mut matches = self.lhs.search(eg);
+        if let Some(cond) = self.condition {
+            matches.retain(|(_, s)| cond(eg, s));
+        }
+        matches
+    }
+
+    /// Apply one match: instantiate `rhs` and union with the matched class.
+    /// Returns `true` if the e-graph changed.
+    pub fn apply_match(&self, eg: &mut EGraph, class: Id, subst: &Subst) -> bool {
+        let new_id = self.rhs.instantiate(eg, subst);
+        eg.union(class, new_id).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Node, Op};
+
+    #[test]
+    fn apply_comm_add() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let ab = eg.add(Node::new(Op::Add, vec![a, b]));
+        let ba = eg.add(Node::new(Op::Add, vec![b, a]));
+        assert!(!eg.same(ab, ba));
+
+        let rule = Rewrite::new("comm-add", "(+ ?a ?b)", "(+ ?b ?a)");
+        for (class, subst) in rule.search(&eg) {
+            rule.apply_match(&mut eg, class, &subst);
+        }
+        eg.rebuild();
+        assert!(eg.same(ab, ba));
+    }
+
+    #[test]
+    fn fma_rule_adds_node_to_class() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let c = eg.add(Node::sym("c"));
+        let bc = eg.add(Node::new(Op::Mul, vec![b, c]));
+        let sum = eg.add(Node::new(Op::Add, vec![a, bc]));
+
+        let rule = Rewrite::new("fma1", "(+ ?a (* ?b ?c))", "(fma ?a ?b ?c)");
+        let matches = rule.search(&eg);
+        assert_eq!(matches.len(), 1);
+        for (class, subst) in matches {
+            rule.apply_match(&mut eg, class, &subst);
+        }
+        eg.rebuild();
+        // the sum's class must now contain an Fma node
+        assert!(eg.class(sum).nodes.iter().any(|n| n.op == Op::Fma));
+    }
+
+    #[test]
+    fn conditional_rule_filters() {
+        fn never(_: &EGraph, _: &Subst) -> bool {
+            false
+        }
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let _ab = eg.add(Node::new(Op::Add, vec![a, b]));
+        let rule = Rewrite::new("nope", "(+ ?a ?b)", "(+ ?b ?a)").with_condition(never);
+        assert!(rule.search(&eg).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound by lhs")]
+    fn unbound_rhs_variable_panics() {
+        let _ = Rewrite::new("bad", "(+ ?a ?b)", "(+ ?a ?c)");
+    }
+}

@@ -1,0 +1,233 @@
+//! The saturation runner: applies a rule set until saturation or until the
+//! paper's limits are hit (10 000 e-nodes, 10 iterations, 10 seconds).
+
+use crate::egraph::EGraph;
+use crate::rewrite::Rewrite;
+use std::time::{Duration, Instant};
+
+/// Why the runner stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No rule produced a change: the e-graph is saturated.
+    Saturated,
+    /// The e-node budget was exhausted.
+    NodeLimit,
+    /// The iteration budget was exhausted.
+    IterLimit,
+    /// The wall-clock budget was exhausted.
+    TimeLimit,
+}
+
+/// Runner limits. Defaults mirror the paper's §VII configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerLimits {
+    pub node_limit: usize,
+    pub iter_limit: usize,
+    pub time_limit: Duration,
+}
+
+impl Default for RunnerLimits {
+    fn default() -> RunnerLimits {
+        RunnerLimits {
+            node_limit: 10_000,
+            iter_limit: 10,
+            time_limit: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Per-iteration statistics.
+#[derive(Debug, Clone, Default)]
+pub struct IterationStats {
+    pub applied: usize,
+    pub total_nodes: usize,
+    pub num_classes: usize,
+}
+
+/// Result of a saturation run.
+#[derive(Debug, Clone)]
+pub struct RunnerReport {
+    pub stop_reason: StopReason,
+    pub iterations: Vec<IterationStats>,
+    pub elapsed: Duration,
+}
+
+impl RunnerReport {
+    /// Total number of rule applications across all iterations.
+    pub fn total_applied(&self) -> usize {
+        self.iterations.iter().map(|i| i.applied).sum()
+    }
+}
+
+/// The equality-saturation runner.
+pub struct Runner {
+    pub limits: RunnerLimits,
+    pub rules: Vec<Rewrite>,
+}
+
+impl Runner {
+    /// New runner with the given rules and default (paper) limits.
+    pub fn new(rules: Vec<Rewrite>) -> Runner {
+        Runner { limits: RunnerLimits::default(), rules }
+    }
+
+    /// Override the limits.
+    pub fn with_limits(mut self, limits: RunnerLimits) -> Runner {
+        self.limits = limits;
+        self
+    }
+
+    /// Run saturation on `eg` until a stop condition is reached.
+    pub fn run(&self, eg: &mut EGraph) -> RunnerReport {
+        let start = Instant::now();
+        let mut iterations = Vec::new();
+        let stop_reason = loop {
+            if iterations.len() >= self.limits.iter_limit {
+                break StopReason::IterLimit;
+            }
+            if start.elapsed() >= self.limits.time_limit {
+                break StopReason::TimeLimit;
+            }
+            if eg.total_nodes() >= self.limits.node_limit {
+                break StopReason::NodeLimit;
+            }
+
+            // 1. search all rules against the current (frozen) e-graph
+            let mut all_matches = Vec::new();
+            for (ri, rule) in self.rules.iter().enumerate() {
+                for (class, subst) in rule.search(eg) {
+                    all_matches.push((ri, class, subst));
+                }
+                if start.elapsed() >= self.limits.time_limit {
+                    break;
+                }
+            }
+
+            // 2. apply every match, then restore congruence once
+            let mut applied = 0usize;
+            for (ri, class, subst) in all_matches {
+                if eg.total_nodes() >= self.limits.node_limit {
+                    break;
+                }
+                if self.rules[ri].apply_match(eg, class, &subst) {
+                    applied += 1;
+                }
+            }
+            eg.rebuild();
+
+            iterations.push(IterationStats {
+                applied,
+                total_nodes: eg.total_nodes(),
+                num_classes: eg.num_classes(),
+            });
+
+            if applied == 0 {
+                break StopReason::Saturated;
+            }
+        };
+        RunnerReport { stop_reason, iterations, elapsed: start.elapsed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Node, Op};
+    use crate::rules::all_rules;
+
+    fn chain_add(eg: &mut EGraph, names: &[&str]) -> Vec<crate::node::Id> {
+        names.iter().map(|n| eg.add(Node::sym(n))).collect()
+    }
+
+    #[test]
+    fn saturates_small_graph() {
+        let mut eg = EGraph::new();
+        let ids = chain_add(&mut eg, &["a", "b"]);
+        let _sum = eg.add(Node::new(Op::Add, vec![ids[0], ids[1]]));
+        let runner = Runner::new(vec![Rewrite::new("comm-add", "(+ ?a ?b)", "(+ ?b ?a)")]);
+        let report = runner.run(&mut eg);
+        assert_eq!(report.stop_reason, StopReason::Saturated);
+        assert!(report.iterations.len() <= 3);
+    }
+
+    #[test]
+    fn comm_assoc_proves_reassociation() {
+        // (a + b) + c  ==  a + (b + c) under assoc rules
+        let mut eg = EGraph::new();
+        let ids = chain_add(&mut eg, &["a", "b", "c"]);
+        let ab = eg.add(Node::new(Op::Add, vec![ids[0], ids[1]]));
+        let abc1 = eg.add(Node::new(Op::Add, vec![ab, ids[2]]));
+        let bc = eg.add(Node::new(Op::Add, vec![ids[1], ids[2]]));
+        let abc2 = eg.add(Node::new(Op::Add, vec![ids[0], bc]));
+        assert!(!eg.same(abc1, abc2));
+        let runner = Runner::new(all_rules());
+        let report = runner.run(&mut eg);
+        assert!(eg.same(abc1, abc2), "associativity must merge the two sums");
+        assert!(matches!(
+            report.stop_reason,
+            StopReason::Saturated | StopReason::IterLimit
+        ));
+    }
+
+    #[test]
+    fn fma_discovered_through_commutativity() {
+        // b * c + a  —  needs COMM-ADD then FMA1 (paper Fig. 1 step II)
+        let mut eg = EGraph::new();
+        let ids = chain_add(&mut eg, &["a", "b", "c"]);
+        let bc = eg.add(Node::new(Op::Mul, vec![ids[1], ids[2]]));
+        let sum = eg.add(Node::new(Op::Add, vec![bc, ids[0]]));
+        let runner = Runner::new(all_rules());
+        runner.run(&mut eg);
+        assert!(
+            eg.class(sum).nodes.iter().any(|n| n.op == Op::Fma),
+            "FMA must appear in the sum's class"
+        );
+    }
+
+    #[test]
+    fn node_limit_stops_growth() {
+        let mut eg = EGraph::new();
+        // big associative sum: saturation would explode; the limit must bite
+        let leaves: Vec<_> = (0..12).map(|i| eg.add(Node::sym(&format!("x{i}")))).collect();
+        let mut acc = leaves[0];
+        for &l in &leaves[1..] {
+            acc = eg.add(Node::new(Op::Add, vec![acc, l]));
+        }
+        let limits = RunnerLimits { node_limit: 200, ..Default::default() };
+        let runner = Runner::new(all_rules()).with_limits(limits);
+        let report = runner.run(&mut eg);
+        assert_eq!(report.stop_reason, StopReason::NodeLimit);
+        // the budget can be overshot only by the last iteration's additions
+        assert!(eg.total_nodes() < 200 * 20);
+    }
+
+    #[test]
+    fn iter_limit_respected() {
+        let mut eg = EGraph::new();
+        let leaves: Vec<_> = (0..8).map(|i| eg.add(Node::sym(&format!("x{i}")))).collect();
+        let mut acc = leaves[0];
+        for &l in &leaves[1..] {
+            acc = eg.add(Node::new(Op::Mul, vec![acc, l]));
+        }
+        let limits = RunnerLimits { iter_limit: 2, node_limit: usize::MAX, ..Default::default() };
+        let runner = Runner::new(all_rules()).with_limits(limits);
+        let report = runner.run(&mut eg);
+        assert!(report.iterations.len() <= 2);
+    }
+
+    #[test]
+    fn constant_folding_composes_with_rules() {
+        // (x + 1) + 2 → x + (1 + 2) → x + 3 via assoc + folding
+        let mut eg = EGraph::new();
+        let x = eg.add(Node::sym("x"));
+        let one = eg.add(Node::int(1));
+        let two = eg.add(Node::int(2));
+        let x1 = eg.add(Node::new(Op::Add, vec![x, one]));
+        let x12 = eg.add(Node::new(Op::Add, vec![x1, two]));
+        let runner = Runner::new(all_rules());
+        runner.run(&mut eg);
+        let three = eg.add(Node::int(3));
+        let x3 = eg.add(Node::new(Op::Add, vec![x, three]));
+        assert!(eg.same(x12, x3), "folding must discover x + 3");
+    }
+}

@@ -1,0 +1,139 @@
+//! Union-find (disjoint set) over e-class ids, with path halving.
+
+use crate::node::Id;
+
+/// Disjoint-set forest keyed by [`Id`]. `find` uses path halving; `union` is
+/// union-by-instruction-order (the caller decides the surviving root, which
+/// the e-graph uses to keep the analysis data on the canonical class).
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parents: Vec<Id>,
+}
+
+impl UnionFind {
+    /// Create an empty forest.
+    pub fn new() -> UnionFind {
+        UnionFind { parents: Vec::new() }
+    }
+
+    /// Number of ids ever created (not the number of sets).
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True if no ids were created.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Create a fresh singleton set and return its id.
+    pub fn make_set(&mut self) -> Id {
+        let id = Id::from(self.parents.len());
+        self.parents.push(id);
+        id
+    }
+
+    /// Find the canonical representative of `id` without mutation.
+    pub fn find(&self, mut id: Id) -> Id {
+        while self.parents[id.index()] != id {
+            id = self.parents[id.index()];
+        }
+        id
+    }
+
+    /// Find with path halving (amortized near-constant).
+    pub fn find_mut(&mut self, mut id: Id) -> Id {
+        while self.parents[id.index()] != id {
+            let grandparent = self.parents[self.parents[id.index()].index()];
+            self.parents[id.index()] = grandparent;
+            id = grandparent;
+        }
+        id
+    }
+
+    /// Merge the set containing `from` into the set containing `to`.
+    /// Returns the canonical id (`to`'s root). `to` survives.
+    pub fn union(&mut self, to: Id, from: Id) -> Id {
+        let to = self.find_mut(to);
+        let from = self.find_mut(from);
+        self.parents[from.index()] = to;
+        to
+    }
+
+    /// Are two ids in the same set?
+    pub fn same(&self, a: Id, b: Id) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of distinct sets (linear scan; used in tests and stats).
+    pub fn num_sets(&self) -> usize {
+        (0..self.parents.len()).filter(|&i| self.parents[i] == Id::from(i)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..8).map(|_| uf.make_set()).collect();
+        for &id in &ids {
+            assert_eq!(uf.find(id), id);
+        }
+        assert_eq!(uf.num_sets(), 8);
+    }
+
+    #[test]
+    fn union_merges_and_to_survives() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        let c = uf.make_set();
+        let root = uf.union(a, b);
+        assert_eq!(root, a);
+        assert!(uf.same(a, b));
+        assert!(!uf.same(a, c));
+        assert_eq!(uf.num_sets(), 2);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..10).map(|_| uf.make_set()).collect();
+        // chain 0←1, 1←2, …
+        for w in ids.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        for &id in &ids {
+            assert_eq!(uf.find_mut(id), ids[0]);
+        }
+        assert_eq!(uf.num_sets(), 1);
+    }
+
+    #[test]
+    fn path_halving_preserves_roots() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..64).map(|_| uf.make_set()).collect();
+        for &id in &ids[1..] {
+            uf.union(ids[0], id);
+        }
+        // find_mut compresses but the root never changes
+        for &id in &ids {
+            assert_eq!(uf.find_mut(id), ids[0]);
+            assert_eq!(uf.find(id), ids[0]);
+        }
+    }
+
+    #[test]
+    fn union_idempotent() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        uf.union(a, b);
+        let r = uf.union(a, b);
+        assert_eq!(r, a);
+        assert_eq!(uf.num_sets(), 1);
+    }
+}

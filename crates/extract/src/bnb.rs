@@ -1,0 +1,311 @@
+//! Exact DAG-cost extraction via branch-and-bound — the from-scratch
+//! replacement for the paper's CBC linear-programming extraction.
+//!
+//! Objective (paper §IV-B): select one node per required e-class such that
+//! the sum of op costs over *distinct* selected classes is minimal. The
+//! search branches on the node choice of one undecided class at a time;
+//! the admissible lower bound adds, for every class that is already known
+//! to be required but undecided, the cheapest op cost any of its nodes
+//! could contribute. The greedy extraction provides the initial incumbent,
+//! so even an immediate timeout returns a sound selection — mirroring the
+//! paper's 30 s extraction time limit.
+
+use crate::cost::CostModel;
+use crate::greedy::{class_costs, extract_greedy};
+use crate::selection::Selection;
+use accsat_egraph::{EGraph, Id, Node};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Result of exact extraction.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    pub selection: Selection,
+    /// Total DAG cost of the returned selection.
+    pub cost: u64,
+    /// `true` when the search completed (the result is provably optimal);
+    /// `false` when the time budget expired and the incumbent is returned.
+    pub proven_optimal: bool,
+    /// Number of branch-and-bound nodes explored.
+    pub explored: u64,
+}
+
+/// Exact DAG-cost extraction under a time budget.
+pub fn extract_exact(
+    eg: &EGraph,
+    roots: &[Id],
+    cm: &CostModel,
+    budget: Duration,
+) -> ExactResult {
+    let incumbent = extract_greedy(eg, roots, cm);
+    let incumbent_cost = incumbent.dag_cost(eg, cm, roots);
+    let tree_costs = class_costs(eg, cm);
+
+    // cheapest op cost any node of a class could contribute (admissible)
+    let mut min_op: HashMap<Id, u64> = HashMap::new();
+    for (id, class) in eg.classes() {
+        let m = class.nodes.iter().map(|n| cm.op_cost(&n.op)).min().unwrap_or(0);
+        min_op.insert(id, m);
+    }
+
+    let mut search = Search {
+        eg,
+        cm,
+        tree_costs: &tree_costs,
+        min_op: &min_op,
+        best: incumbent.clone(),
+        best_cost: incumbent_cost,
+        deadline: Instant::now() + budget,
+        explored: 0,
+        timed_out: false,
+    };
+
+    let mut pending: Vec<Id> = roots.iter().map(|&r| eg.find(r)).collect();
+    pending.sort();
+    pending.dedup();
+    let bound: u64 = pending.iter().map(|id| min_op[id]).sum();
+    let mut chosen: HashMap<Id, Node> = HashMap::new();
+    search.dfs(&mut pending, &mut chosen, 0, bound);
+
+    let proven = !search.timed_out;
+    let best_cost = search.best_cost;
+    let explored = search.explored;
+    ExactResult { selection: search.best, cost: best_cost, proven_optimal: proven, explored }
+}
+
+struct Search<'a> {
+    eg: &'a EGraph,
+    cm: &'a CostModel,
+    tree_costs: &'a [Option<u64>],
+    min_op: &'a HashMap<Id, u64>,
+    best: Selection,
+    best_cost: u64,
+    deadline: Instant,
+    explored: u64,
+    timed_out: bool,
+}
+
+impl<'a> Search<'a> {
+    /// `pending`: required-but-undecided classes. `cost`: op costs of
+    /// decided classes. `bound_extra`: Σ min_op over pending.
+    fn dfs(
+        &mut self,
+        pending: &mut Vec<Id>,
+        chosen: &mut HashMap<Id, Node>,
+        cost: u64,
+        bound_extra: u64,
+    ) {
+        self.explored += 1;
+        if self.explored % 256 == 0 && Instant::now() >= self.deadline {
+            self.timed_out = true;
+        }
+        if self.timed_out || cost + bound_extra >= self.best_cost {
+            return;
+        }
+        // find the next undecided class
+        let id = loop {
+            match pending.pop() {
+                None => {
+                    // complete selection: record as new incumbent
+                    if cost < self.best_cost {
+                        self.best_cost = cost;
+                        let mut sel = Selection::new();
+                        for (id, n) in chosen.iter() {
+                            sel.choose(self.eg, *id, n.clone());
+                        }
+                        self.best = sel;
+                    }
+                    return;
+                }
+                Some(id) => {
+                    if !chosen.contains_key(&id) {
+                        break id;
+                    }
+                    // already decided: drop it (its min_op was removed when
+                    // it was decided, not when queued again)
+                }
+            }
+        };
+        let bound_extra = bound_extra - self.min_op[&id];
+
+        // candidate nodes, cheapest tree cost first for good incumbents
+        let class = self.eg.class(id);
+        let mut cands: Vec<&Node> = class
+            .nodes
+            .iter()
+            .filter(|n| {
+                n.children
+                    .iter()
+                    .all(|&c| self.tree_costs[self.eg.find(c).index()].is_some())
+            })
+            .collect();
+        cands.sort_by_key(|n| {
+            let kids: u64 = n
+                .children
+                .iter()
+                .map(|&c| self.tree_costs[self.eg.find(c).index()].unwrap_or(u64::MAX / 4))
+                .sum();
+            self.cm.op_cost(&n.op).saturating_add(kids)
+        });
+
+        for node in cands {
+            // acyclicity: a selected DAG must be well-founded
+            let partial = PartialSel { chosen };
+            if partial.would_cycle(self.eg, id, node) {
+                continue;
+            }
+            let node_cost = self.cm.op_cost(&node.op);
+            // queue children that are not yet decided or pending
+            let mut added: Vec<Id> = Vec::new();
+            let mut extra = bound_extra;
+            for &c in &node.children {
+                let c = self.eg.find(c);
+                if !chosen.contains_key(&c) && !pending.contains(&c) && !added.contains(&c) {
+                    added.push(c);
+                    extra += self.min_op[&c];
+                }
+            }
+            chosen.insert(id, node.clone());
+            let before_len = pending.len();
+            pending.extend(added.iter().copied());
+            self.dfs(pending, chosen, cost + node_cost, extra);
+            pending.truncate(before_len);
+            chosen.remove(&id);
+            if self.timed_out {
+                break;
+            }
+        }
+        pending.push(id);
+    }
+}
+
+/// Cycle check over a partial choice map (cheaper than building a Selection).
+struct PartialSel<'a> {
+    chosen: &'a HashMap<Id, Node>,
+}
+
+impl<'a> PartialSel<'a> {
+    fn would_cycle(&self, eg: &EGraph, id: Id, node: &Node) -> bool {
+        let target = eg.find(id);
+        let mut stack: Vec<Id> = node.children.iter().map(|&c| eg.find(c)).collect();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(c) = stack.pop() {
+            if c == target {
+                return true;
+            }
+            if !seen.insert(c) {
+                continue;
+            }
+            if let Some(n) = self.chosen.get(&c) {
+                stack.extend(n.children.iter().map(|&k| eg.find(k)));
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accsat_egraph::{all_rules, Node, Op, Runner};
+
+    #[test]
+    fn exact_finds_sharing_optimum() {
+        // r's class has two nodes:
+        //   (a)  mul(h, h)      where h = a / b   (heavy 100)
+        //   (b)  add(p, q)      where p = a*b, q = b*a  — two muls
+        // Tree costs: (a) = 10 + 2*102 = 214 → greedy may pick (b) = 10+2*12=34?
+        // DAG costs:  (a) = 10 + 102 = 112 (h shared) vs (b) = 10+12+12=34.
+        // Make sharing matter the other way: roots r1 = h + x, r2 = h * y …
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let h = eg.add(Node::new(Op::Div, vec![a, b]));
+        let r1 = eg.add(Node::new(Op::Add, vec![h, a]));
+        let r2 = eg.add(Node::new(Op::Mul, vec![h, b]));
+        let cm = CostModel::paper();
+        let res = extract_exact(&eg, &[r1, r2], &cm, Duration::from_secs(1));
+        assert!(res.proven_optimal);
+        // classes: a 1, b 1, h 100, r1 10, r2 10 = 122
+        assert_eq!(res.cost, 122);
+    }
+
+    #[test]
+    fn exact_prefers_shared_expensive_over_distinct_cheap() {
+        // class R = { add(h, h), add(m1, m2) } where h = a/b (100) shared,
+        // m1 = a*b, m2 = b*a distinct muls (10 each).
+        // Tree: add(h,h) = 10+204 = 214 vs add(m1,m2) = 10+24 = 34 → greedy picks muls.
+        // DAG: add(h,h) = 10+102 = 112 vs 34 → still muls. Flip heaviness:
+        // use a cost model where operation=200, heavy=10:
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let h = eg.add(Node::new(Op::Div, vec![a, b])); // heavy op
+        let hh = eg.add(Node::new(Op::Add, vec![h, h]));
+        let m1 = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let m2 = eg.add(Node::new(Op::Mul, vec![b, a]));
+        let mm = eg.add(Node::new(Op::Add, vec![m1, m2]));
+        eg.union(hh, mm);
+        eg.rebuild();
+        let cm = CostModel { constant: 0, variable: 1, operation: 200, heavy: 10 };
+        let res = extract_exact(&eg, &[hh], &cm, Duration::from_secs(1));
+        assert!(res.proven_optimal);
+        // shared div route: add 200 + div 10 + a 1 + b 1 = 212
+        // two-muls route:   add 200 + 2×mul 400 + 2 = 602
+        assert_eq!(res.cost, 212);
+        assert!(res.selection.node(&eg, hh).children.len() == 2);
+    }
+
+    #[test]
+    fn exact_matches_greedy_on_trees() {
+        // with no sharing opportunities, exact == greedy
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let c = eg.add(Node::sym("c"));
+        let bc = eg.add(Node::new(Op::Mul, vec![b, c]));
+        let sum = eg.add(Node::new(Op::Add, vec![a, bc]));
+        Runner::new(all_rules()).run(&mut eg);
+        let cm = CostModel::paper();
+        let g = extract_greedy(&eg, &[sum], &cm);
+        let e = extract_exact(&eg, &[sum], &cm, Duration::from_secs(1));
+        assert_eq!(e.cost, g.dag_cost(&eg, &cm, &[sum]));
+        assert!(e.proven_optimal);
+    }
+
+    #[test]
+    fn timeout_returns_incumbent() {
+        // zero budget: must return the greedy incumbent, unproven
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let s = eg.add(Node::new(Op::Add, vec![a, b]));
+        Runner::new(all_rules()).run(&mut eg);
+        let cm = CostModel::paper();
+        let res = extract_exact(&eg, &[s], &cm, Duration::from_millis(0));
+        // tiny graph may still finish before the first clock check; accept
+        // either, but the selection must be valid
+        assert!(res.selection.get(&eg, s).is_some());
+        let _ = res.selection.dag_cost(&eg, &cm, &[s]);
+    }
+
+    #[test]
+    fn saturated_matmul_statement_extracts_fast() {
+        // alpha * tmp + beta * c  — the Listing 1 statement after saturation
+        let mut eg = EGraph::new();
+        let alpha = eg.add(Node::sym("alpha"));
+        let tmp = eg.add(Node::sym("tmp"));
+        let beta = eg.add(Node::sym("beta"));
+        let cc = eg.add(Node::sym("c"));
+        let at = eg.add(Node::new(Op::Mul, vec![alpha, tmp]));
+        let bc = eg.add(Node::new(Op::Mul, vec![beta, cc]));
+        let sum = eg.add(Node::new(Op::Add, vec![at, bc]));
+        Runner::new(all_rules()).run(&mut eg);
+        let cm = CostModel::paper();
+        let res = extract_exact(&eg, &[sum], &cm, Duration::from_secs(2));
+        // fma(a*t, beta, c) = fma 10 + mul 10 + 4 syms = 24 beats
+        // add+2mul = 30+4 = 34
+        assert!(res.cost <= 24, "expected an FMA extraction, got {}", res.cost);
+        assert!(res.proven_optimal);
+    }
+}

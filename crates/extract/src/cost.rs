@@ -1,0 +1,102 @@
+//! The paper's cost model (§V-B).
+
+use accsat_egraph::Op;
+
+/// Cost model over e-node operators. The default values are the paper's:
+/// "constant numbers pose no cost, each input variable or φ counts as 1,
+/// all computational operations except division and modular arithmetic
+/// count as 10, and each memory access, division, modular arithmetic, or
+/// function call counts as 100."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Literal constants.
+    pub constant: u64,
+    /// Input variables and φ nodes.
+    pub variable: u64,
+    /// Ordinary computational operations (+, *, comparisons, FMA, …).
+    pub operation: u64,
+    /// Memory accesses, division, modulo, function calls.
+    pub heavy: u64,
+}
+
+impl CostModel {
+    /// The paper's §V-B values.
+    pub const fn paper() -> CostModel {
+        CostModel { constant: 0, variable: 1, operation: 10, heavy: 100 }
+    }
+
+    /// Variant for the cost-model-sensitivity ablation: scale the memory
+    /// cost while keeping the rest.
+    pub const fn with_heavy(heavy: u64) -> CostModel {
+        CostModel { heavy, ..CostModel::paper() }
+    }
+
+    /// Cost of one operator (excluding children).
+    pub fn op_cost(&self, op: &Op) -> u64 {
+        match op {
+            Op::Int(_) | Op::Float(_) => self.constant,
+            // input variables and φs count as 1
+            Op::Sym(_) | Op::LoopCond(_) | Op::Select | Op::PhiLoop => self.variable,
+            // memory accesses, div/mod, calls count as heavy
+            Op::Load | Op::Store | Op::Div | Op::Mod | Op::Call(_) => self.heavy,
+            // casts are register moves — treat as free computation
+            Op::CastInt | Op::CastFloat => self.constant,
+            // everything else is an ordinary operation
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Neg
+            | Op::Fma
+            | Op::Lt
+            | Op::Le
+            | Op::Gt
+            | Op::Ge
+            | Op::Eq
+            | Op::Ne
+            | Op::And
+            | Op::Or
+            | Op::Not => self.operation,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let cm = CostModel::paper();
+        assert_eq!(cm.op_cost(&Op::Int(7)), 0);
+        assert_eq!(cm.op_cost(&Op::float(2.5)), 0);
+        assert_eq!(cm.op_cost(&Op::Sym("x".into())), 1);
+        assert_eq!(cm.op_cost(&Op::Select), 1);
+        assert_eq!(cm.op_cost(&Op::PhiLoop), 1);
+        assert_eq!(cm.op_cost(&Op::Add), 10);
+        assert_eq!(cm.op_cost(&Op::Fma), 10);
+        assert_eq!(cm.op_cost(&Op::Div), 100);
+        assert_eq!(cm.op_cost(&Op::Mod), 100);
+        assert_eq!(cm.op_cost(&Op::Load), 100);
+        assert_eq!(cm.op_cost(&Op::Store), 100);
+        assert_eq!(cm.op_cost(&Op::Call("sqrt".into())), 100);
+    }
+
+    #[test]
+    fn fma_is_cheaper_than_add_plus_mul() {
+        let cm = CostModel::paper();
+        assert!(cm.op_cost(&Op::Fma) < cm.op_cost(&Op::Add) + cm.op_cost(&Op::Mul));
+    }
+
+    #[test]
+    fn ablation_heavy_override() {
+        let cm = CostModel::with_heavy(1000);
+        assert_eq!(cm.op_cost(&Op::Load), 1000);
+        assert_eq!(cm.op_cost(&Op::Add), 10);
+    }
+}

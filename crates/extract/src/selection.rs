@@ -1,0 +1,188 @@
+//! A selection: one chosen e-node per (reachable) e-class.
+
+use crate::cost::CostModel;
+use accsat_egraph::{EGraph, Id, Node};
+use std::collections::HashMap;
+
+/// One chosen representative node per canonical e-class.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    choice: HashMap<Id, Node>,
+}
+
+impl Selection {
+    /// Empty selection.
+    pub fn new() -> Selection {
+        Selection::default()
+    }
+
+    /// Record the chosen node for a class (id may be non-canonical).
+    pub fn choose(&mut self, eg: &EGraph, id: Id, node: Node) {
+        self.choice.insert(eg.find(id), node);
+    }
+
+    /// Chosen node for a class. Panics if the class was not selected —
+    /// selections returned by the extractors always cover all reachable
+    /// classes.
+    pub fn node(&self, eg: &EGraph, id: Id) -> &Node {
+        self.choice
+            .get(&eg.find(id))
+            .unwrap_or_else(|| panic!("class {id} has no selected node"))
+    }
+
+    /// Chosen node, if any.
+    pub fn get(&self, eg: &EGraph, id: Id) -> Option<&Node> {
+        self.choice.get(&eg.find(id))
+    }
+
+    /// Number of selected classes.
+    pub fn len(&self) -> usize {
+        self.choice.len()
+    }
+
+    /// Is the selection empty?
+    pub fn is_empty(&self) -> bool {
+        self.choice.is_empty()
+    }
+
+    /// All classes reachable from `roots` through the selection, in
+    /// children-before-parents (topological) order.
+    pub fn reachable(&self, eg: &EGraph, roots: &[Id]) -> Vec<Id> {
+        let mut order = Vec::new();
+        let mut state: HashMap<Id, u8> = HashMap::new(); // 1=visiting, 2=done
+        fn go(
+            sel: &Selection,
+            eg: &EGraph,
+            id: Id,
+            state: &mut HashMap<Id, u8>,
+            order: &mut Vec<Id>,
+        ) {
+            let id = eg.find(id);
+            match state.get(&id) {
+                Some(2) => return,
+                Some(1) => panic!("cyclic selection at {id}"),
+                _ => {}
+            }
+            state.insert(id, 1);
+            let node = sel.node(eg, id).clone();
+            for &c in &node.children {
+                go(sel, eg, c, state, order);
+            }
+            state.insert(id, 2);
+            order.push(id);
+        }
+        for &r in roots {
+            go(self, eg, r, &mut state, &mut order);
+        }
+        order
+    }
+
+    /// True DAG cost: each reachable class's chosen op counted exactly once
+    /// (the paper's LP objective).
+    pub fn dag_cost(&self, eg: &EGraph, cm: &CostModel, roots: &[Id]) -> u64 {
+        self.reachable(eg, roots)
+            .iter()
+            .map(|&id| cm.op_cost(&self.node(eg, id).op))
+            .sum()
+    }
+
+    /// Tree cost of one class (children re-counted per use; egg's default
+    /// objective, used for comparison in ablations).
+    pub fn tree_cost(&self, eg: &EGraph, cm: &CostModel, id: Id) -> u64 {
+        let node = self.node(eg, id);
+        let kids: u64 = node.children.iter().map(|&c| self.tree_cost(eg, cm, c)).sum();
+        cm.op_cost(&node.op).saturating_add(kids)
+    }
+
+    /// Would selecting `node` for class `id` close a cycle through the
+    /// currently selected choices?
+    pub fn would_cycle(&self, eg: &EGraph, id: Id, node: &Node) -> bool {
+        let target = eg.find(id);
+        let mut stack: Vec<Id> = node.children.iter().map(|&c| eg.find(c)).collect();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(c) = stack.pop() {
+            if c == target {
+                return true;
+            }
+            if !seen.insert(c) {
+                continue;
+            }
+            if let Some(n) = self.choice.get(&c) {
+                stack.extend(n.children.iter().map(|&k| eg.find(k)));
+            }
+        }
+        false
+    }
+
+    /// Render the selected term for a root as an s-expression (debugging).
+    pub fn term_string(&self, eg: &EGraph, id: Id) -> String {
+        let node = self.node(eg, id);
+        if node.children.is_empty() {
+            node.op.name()
+        } else {
+            let kids: Vec<String> =
+                node.children.iter().map(|&c| self.term_string(eg, c)).collect();
+            format!("({} {})", node.op.name(), kids.join(" "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accsat_egraph::{Node, Op};
+
+    #[test]
+    fn reachable_is_topo_ordered() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let ab = eg.add(Node::new(Op::Add, vec![a, b]));
+        let r = eg.add(Node::new(Op::Mul, vec![ab, a]));
+        let mut sel = Selection::new();
+        for &(id, ref n) in &[
+            (a, Node::sym("a")),
+            (b, Node::sym("b")),
+            (ab, Node::new(Op::Add, vec![a, b])),
+            (r, Node::new(Op::Mul, vec![ab, a])),
+        ] {
+            sel.choose(&eg, id, n.clone());
+        }
+        let order = sel.reachable(&eg, &[r]);
+        let pos = |x: Id| order.iter().position(|&y| y == eg.find(x)).unwrap();
+        assert!(pos(a) < pos(ab));
+        assert!(pos(b) < pos(ab));
+        assert!(pos(ab) < pos(r));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn dag_vs_tree_cost() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let ab = eg.add(Node::new(Op::Add, vec![a, a]));
+        let r = eg.add(Node::new(Op::Mul, vec![ab, ab]));
+        let mut sel = Selection::new();
+        sel.choose(&eg, a, Node::sym("a"));
+        sel.choose(&eg, ab, Node::new(Op::Add, vec![a, a]));
+        sel.choose(&eg, r, Node::new(Op::Mul, vec![ab, ab]));
+        let cm = CostModel::paper();
+        // DAG: a(1) + add(10) + mul(10) = 21
+        assert_eq!(sel.dag_cost(&eg, &cm, &[r]), 21);
+        // Tree: mul(10) + 2 * (add(10) + 2 * a(1)) = 34
+        assert_eq!(sel.tree_cost(&eg, &cm, r), 34);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let na = eg.add(Node::new(Op::Neg, vec![a]));
+        let mut sel = Selection::new();
+        // if `a`'s class chose a node pointing at `na`, na→a→na would cycle
+        sel.choose(&eg, a, Node::new(Op::Neg, vec![na]));
+        assert!(sel.would_cycle(&eg, na, &Node::new(Op::Neg, vec![a])));
+        let b = eg.add(Node::sym("b"));
+        assert!(!sel.would_cycle(&eg, na, &Node::new(Op::Neg, vec![b])));
+    }
+}

@@ -1,0 +1,270 @@
+//! The warp scoreboard simulator: in-order issue per warp, operand
+//! scoreboarding, per-pipe occupancy, memory latency, and a per-SM DRAM
+//! bandwidth token bucket.
+
+use crate::device::Device;
+use crate::trace::{SimOp, Trace};
+
+/// Result of simulating one thread block (a set of warps sharing an SM).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Cycles until the last warp retires its trace (work_scale applied).
+    pub cycles: u64,
+    /// Warp-instructions issued (work_scale applied).
+    pub issued: u64,
+    /// DRAM traffic in bytes (work_scale applied).
+    pub dram_bytes: u64,
+    /// Fraction of issue slots lost to memory-operand stalls.
+    pub mem_stall_frac: f64,
+}
+
+/// Simulate `warps` warps, each executing `trace` once, on one SM of `dev`.
+pub fn simulate(trace: &Trace, warps: u32, dev: &Device) -> SimResult {
+    if trace.insts.is_empty() || warps == 0 {
+        return SimResult { cycles: 0, issued: 0, dram_bytes: 0, mem_stall_frac: 0.0 };
+    }
+    let n = trace.insts.len();
+    let warps = warps as usize;
+
+    // per-warp state
+    let mut pc = vec![0usize; warps];
+    // register-ready cycles, per warp
+    let mut ready: Vec<Vec<u64>> = vec![vec![0; trace.num_regs as usize]; warps];
+    let mut done = 0usize;
+
+    // pipes: next free cycle per pipe (shared across warps on the SM slice)
+    let mut fp_free = 0u64;
+    let mut mem_free = 0u64;
+    let mut special_free = 0u64;
+    let mut ialu_free = 0u64;
+
+    // bandwidth token bucket
+    let bpc = dev.bytes_per_cycle_per_sm();
+    let mut bw_debt = 0.0f64; // cycles of bandwidth backlog
+
+    let mut cycle = 0u64;
+    let mut issued = 0u64;
+    let mut dram_bytes = 0u64;
+    let mut stall_slots = 0u64;
+    let mut total_slots = 0u64;
+    let schedulers = dev.schedulers as usize;
+    let mut rr = 0usize; // round-robin start
+
+    // hard safety valve
+    let max_cycles = 200_000_000u64;
+
+    while done < warps && cycle < max_cycles {
+        let mut issued_this_cycle = 0usize;
+        let mut any_mem_stall = false;
+        let mut next_event = u64::MAX;
+
+        for k in 0..warps {
+            if issued_this_cycle >= schedulers {
+                break;
+            }
+            let w = (rr + k) % warps;
+            if pc[w] >= n {
+                continue;
+            }
+            let inst = &trace.insts[pc[w]];
+            // operand readiness
+            let src_ready = inst.srcs.iter().map(|&s| ready[w][s as usize]).max().unwrap_or(0);
+            let pipe_free = match inst.op {
+                SimOp::Flop { .. } => fp_free,
+                SimOp::Special => special_free,
+                SimOp::IAlu => ialu_free,
+                SimOp::Load { .. } | SimOp::Store { .. } => mem_free,
+            };
+            let can_issue_at = src_ready.max(pipe_free);
+            if can_issue_at <= cycle {
+                // issue now
+                issued_this_cycle += 1;
+                issued += 1;
+                match &inst.op {
+                    SimOp::Flop { .. } => {
+                        fp_free = cycle + warp_pipe_interval(dev);
+                        if let Some(d) = inst.dst {
+                            ready[w][d as usize] = cycle + dev.alu_latency as u64;
+                        }
+                    }
+                    SimOp::IAlu => {
+                        ialu_free = cycle + 1;
+                        if let Some(d) = inst.dst {
+                            ready[w][d as usize] = cycle + dev.alu_latency as u64;
+                        }
+                    }
+                    SimOp::Special => {
+                        special_free = cycle + 8;
+                        if let Some(d) = inst.dst {
+                            ready[w][d as usize] = cycle + dev.special_latency as u64;
+                        }
+                    }
+                    SimOp::Load { coalescing, .. } => {
+                        mem_free = cycle + 1;
+                        let bytes = coalescing.bytes_per_warp() as f64;
+                        dram_bytes += coalescing.bytes_per_warp() as u64;
+                        bw_debt = (bw_debt - 0.0).max(0.0) + bytes / bpc;
+                        let bw_delay = bw_debt as u64;
+                        if let Some(d) = inst.dst {
+                            ready[w][d as usize] =
+                                cycle + dev.mem_latency as u64 + bw_delay;
+                        }
+                    }
+                    SimOp::Store { coalescing, .. } => {
+                        mem_free = cycle + 1;
+                        dram_bytes += coalescing.bytes_per_warp() as u64;
+                        bw_debt += coalescing.bytes_per_warp() as f64 / bpc;
+                        // stores retire asynchronously; no dst
+                    }
+                }
+                pc[w] += 1;
+                if pc[w] >= n {
+                    done += 1;
+                }
+            } else {
+                next_event = next_event.min(can_issue_at);
+                if src_ready > cycle
+                    && inst
+                        .srcs
+                        .iter()
+                        .any(|&s| ready[w][s as usize] > cycle)
+                {
+                    any_mem_stall = true; // approximation: operand stall
+                }
+            }
+        }
+        total_slots += schedulers as u64;
+        if issued_this_cycle < schedulers && any_mem_stall {
+            stall_slots += (schedulers - issued_this_cycle) as u64;
+        }
+        rr = (rr + 1) % warps;
+        // bandwidth debt drains one cycle per cycle
+        bw_debt = (bw_debt - 1.0).max(0.0);
+
+        if issued_this_cycle == 0 {
+            // fast-forward to the next time anything can issue
+            let target = if next_event == u64::MAX { cycle + 1 } else { next_event };
+            let jump = target.saturating_sub(cycle).max(1);
+            bw_debt = (bw_debt - (jump - 1) as f64).max(0.0);
+            cycle = target;
+        } else {
+            cycle += 1;
+        }
+    }
+
+    let scale = trace.work_scale;
+    SimResult {
+        cycles: (cycle as f64 * scale) as u64,
+        issued: (issued as f64 * scale) as u64,
+        dram_bytes: (dram_bytes as f64 * scale) as u64,
+        mem_stall_frac: if total_slots > 0 {
+            stall_slots as f64 / total_slots as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Cycles one warp-wide FP64 op occupies the FP pipe (A100: 32 threads over
+/// 32 FP64 lanes = 1 cycle).
+fn warp_pipe_interval(dev: &Device) -> u64 {
+    (dev.warp_size / dev.fp64_per_sm).max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Coalescing, SimInst, SimOp, Trace};
+
+    fn flop(srcs: Vec<u32>, dst: u32) -> SimInst {
+        SimInst { op: SimOp::Flop { kind: 0 }, srcs, dst: Some(dst) }
+    }
+
+    fn load(dst: u32) -> SimInst {
+        SimInst { op: SimOp::Load { coalescing: Coalescing::Full, key: dst as u64, base: 0 }, srcs: vec![], dst: Some(dst) }
+    }
+
+    fn trace(insts: Vec<SimInst>, regs: u32) -> Trace {
+        Trace { insts, num_regs: regs, work_scale: 1.0 }
+    }
+
+    #[test]
+    fn dependent_flops_serialize_on_latency() {
+        let dev = Device::a100_pcie_40gb();
+        // chain of 10 dependent flops: ~10 * alu_latency cycles
+        let mut insts = vec![flop(vec![], 0)];
+        for i in 1..10 {
+            insts.push(flop(vec![i - 1], i));
+        }
+        let r = simulate(&trace(insts, 10), 1, &dev);
+        assert!(r.cycles >= 9 * dev.alu_latency as u64, "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn independent_flops_pipeline() {
+        let dev = Device::a100_pcie_40gb();
+        let insts: Vec<SimInst> = (0..10).map(|i| flop(vec![], i)).collect();
+        let r = simulate(&trace(insts, 10), 1, &dev);
+        assert!(r.cycles < 20, "independent flops should pipeline, got {}", r.cycles);
+    }
+
+    #[test]
+    fn load_latency_dominates_single_warp() {
+        let dev = Device::a100_pcie_40gb();
+        let insts = vec![load(0), flop(vec![0], 1)];
+        let r = simulate(&trace(insts, 2), 1, &dev);
+        assert!(r.cycles >= dev.mem_latency as u64);
+    }
+
+    #[test]
+    fn two_independent_loads_overlap() {
+        let dev = Device::a100_pcie_40gb();
+        // serial: load, use, load, use  vs  parallel: load load use use
+        let serial = vec![load(0), flop(vec![0], 1), load(2), flop(vec![2], 3)];
+        let parallel = vec![load(0), load(2), flop(vec![0], 1), flop(vec![2], 3)];
+        let rs = simulate(&trace(serial, 4), 1, &dev);
+        let rp = simulate(&trace(parallel, 4), 1, &dev);
+        assert!(
+            rp.cycles + (dev.mem_latency / 2) as u64 <= rs.cycles,
+            "parallel loads {} must clearly beat serial {}",
+            rp.cycles,
+            rs.cycles
+        );
+    }
+
+    #[test]
+    fn work_scale_multiplies_outputs() {
+        let dev = Device::a100_pcie_40gb();
+        let mut t = trace(vec![load(0), flop(vec![0], 1)], 2);
+        let base = simulate(&t, 1, &dev);
+        t.work_scale = 10.0;
+        let scaled = simulate(&t, 1, &dev);
+        assert_eq!(scaled.dram_bytes, base.dram_bytes * 10);
+        assert!(scaled.cycles >= base.cycles * 9);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let dev = Device::a100_pcie_40gb();
+        let r = simulate(&trace(vec![], 1), 4, &dev);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.issued, 0);
+    }
+
+    #[test]
+    fn bandwidth_limits_many_warps() {
+        // memory-saturating trace: back-to-back strided loads with many warps
+        let dev = Device::a100_pcie_40gb();
+        let insts: Vec<SimInst> = (0..32)
+            .map(|i| SimInst {
+                op: SimOp::Load { coalescing: Coalescing::Strided, key: i as u64, base: 0 },
+                srcs: vec![],
+                dst: Some(i),
+            })
+            .collect();
+        let few = simulate(&trace(insts.clone(), 32), 2, &dev);
+        let many = simulate(&trace(insts, 32), 32, &dev);
+        // 16x the warps cannot be 16x faster per-warp: bandwidth saturates
+        assert!(many.cycles > few.cycles, "{} vs {}", many.cycles, few.cycles);
+    }
+}

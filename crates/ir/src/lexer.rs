@@ -1,0 +1,355 @@
+//! Hand-written lexer for the C subset.
+//!
+//! Pragma lines (`#pragma …`) are lexed as single [`TokenKind::Pragma`]
+//! tokens carrying the raw directive text; the parser re-lexes the clause
+//! list. Line (`//`) and block (`/* */`) comments are skipped. Backslash
+//! line-continuations inside pragmas are honoured, matching how the NPB
+//! sources spell long directives.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// A full `#pragma` line (without the leading `#pragma`).
+    Pragma(String),
+    /// Punctuation / operator, e.g. `+`, `<=`, `+=`, `(`, `{`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Pragma(p) => write!(f, "#pragma {p}"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// The lexer. Construct with [`Lexer::new`] and drain with
+/// [`Lexer::tokenize`].
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+    "%=", "->", "<<", ">>", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", "?",
+    ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+];
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(c), _) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                (Some(b'/'), Some(b'/')) => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => break,
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_pragma(&mut self) -> Token {
+        let line = self.line;
+        // consume `#`
+        self.bump();
+        let mut text = String::new();
+        // read to end of line, honouring backslash continuations
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => break,
+                Some(b'\\') => {
+                    // continuation: skip backslash + newline, keep lexing
+                    self.bump();
+                    while matches!(self.peek(), Some(b'\r')) {
+                        self.bump();
+                    }
+                    if matches!(self.peek(), Some(b'\n')) {
+                        self.bump();
+                        text.push(' ');
+                    } else {
+                        text.push('\\');
+                    }
+                }
+                Some(c) => {
+                    text.push(c as char);
+                    self.bump();
+                }
+            }
+        }
+        // strip leading "pragma"
+        let trimmed = text.trim_start();
+        let body = trimmed.strip_prefix("pragma").unwrap_or(trimmed).trim().to_string();
+        Token { kind: TokenKind::Pragma(body), line }
+    }
+
+    fn lex_number(&mut self) -> Token {
+        let line = self.line;
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' => {
+                    // avoid consuming `..` (not in subset, but be safe)
+                    is_float = true;
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                b'x' | b'X' if self.pos == start + 1 && self.src[start] == b'0' => {
+                    // hex literal
+                    self.bump();
+                    while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                        self.bump();
+                    }
+                    let text = std::str::from_utf8(&self.src[start + 2..self.pos]).unwrap();
+                    let v = i64::from_str_radix(text, 16).unwrap_or(0);
+                    return Token { kind: TokenKind::Int(v), line };
+                }
+                _ => break,
+            }
+        }
+        // suffixes: f F l L u U
+        let text_end = self.pos;
+        while matches!(self.peek(), Some(b'f' | b'F' | b'l' | b'L' | b'u' | b'U')) {
+            if matches!(self.peek(), Some(b'f' | b'F')) {
+                is_float = true;
+            }
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..text_end]).unwrap();
+        let kind = if is_float {
+            TokenKind::Float(text.parse::<f64>().unwrap_or(0.0))
+        } else {
+            TokenKind::Int(text.parse::<i64>().unwrap_or(0))
+        };
+        Token { kind, line }
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let line = self.line;
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+        Token { kind: TokenKind::Ident(text), line }
+    }
+
+    fn lex_punct(&mut self) -> Option<Token> {
+        let line = self.line;
+        let rest = &self.src[self.pos..];
+        for p in PUNCTS {
+            if rest.starts_with(p.as_bytes()) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                return Some(Token { kind: TokenKind::Punct(p), line });
+            }
+        }
+        None
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> Token {
+        self.skip_trivia();
+        let line = self.line;
+        match self.peek() {
+            None => Token { kind: TokenKind::Eof, line },
+            Some(b'#') => self.lex_pragma(),
+            Some(c) if c.is_ascii_digit() => self.lex_number(),
+            Some(b'.') if matches!(self.peek2(), Some(d) if d.is_ascii_digit()) => {
+                self.lex_number()
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.lex_ident(),
+            Some(_) => self.lex_punct().unwrap_or_else(|| {
+                // skip unknown byte rather than looping forever
+                self.bump();
+                Token { kind: TokenKind::Punct("?"), line }
+            }),
+        }
+    }
+
+    /// Lex the entire input into a token vector terminated by `Eof`.
+    pub fn tokenize(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token();
+            let done = t.kind == TokenKind::Eof;
+            out.push(t);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("int x = 42;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(kinds("0.5")[0], TokenKind::Float(0.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-2")[0], TokenKind::Float(0.025));
+        assert_eq!(kinds("0.f")[0], TokenKind::Float(0.0));
+        assert_eq!(kinds("1.0e+1")[0], TokenKind::Float(10.0));
+    }
+
+    #[test]
+    fn hex_and_suffixes() {
+        assert_eq!(kinds("0x10")[0], TokenKind::Int(16));
+        assert_eq!(kinds("7L")[0], TokenKind::Int(7));
+        assert_eq!(kinds("3u")[0], TokenKind::Int(3));
+    }
+
+    #[test]
+    fn pragma_single_line() {
+        let ks = kinds("#pragma acc parallel loop gang\nint x;");
+        assert_eq!(ks[0], TokenKind::Pragma("acc parallel loop gang".into()));
+        assert_eq!(ks[1], TokenKind::Ident("int".into()));
+    }
+
+    #[test]
+    fn pragma_continuation() {
+        let src = "#pragma acc parallel loop gang num_gangs(63)\\\n  num_workers(4)\nx;";
+        let ks = kinds(src);
+        match &ks[0] {
+            TokenKind::Pragma(p) => {
+                assert!(p.contains("num_gangs(63)"));
+                assert!(p.contains("num_workers(4)"));
+            }
+            other => panic!("expected pragma, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a /* block */ b // line\nc");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let ks = kinds("a<=b ==c+=1");
+        assert_eq!(ks[1], TokenKind::Punct("<="));
+        assert_eq!(ks[3], TokenKind::Punct("=="));
+        assert_eq!(ks[5], TokenKind::Punct("+="));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = Lexer::new("a\nb\n\nc").tokenize();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+}

@@ -1,0 +1,291 @@
+//! C pretty-printer: regenerates compilable C (with the original pragmas)
+//! from the AST. ACC Saturator's output "is compatible with NVHPC, GCC and
+//! Clang" (paper §III) — the printer is what makes the optimized AST a valid
+//! drop-in replacement for the user's source.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Print a whole translation unit.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in p.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(f, &mut out);
+    }
+    out
+}
+
+/// Print a single function definition.
+pub fn print_function(f: &Function, out: &mut String) {
+    write!(out, "{} {}(", f.ret.c_name(), f.name).unwrap();
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{} {}", p.ty.c_name(), p.name).unwrap();
+        for d in &p.dims {
+            if *d == 0 {
+                out.push_str("[]");
+            } else {
+                write!(out, "[{d}]").unwrap();
+            }
+        }
+    }
+    out.push_str(") ");
+    print_block(&f.body, 0, out);
+    out.push('\n');
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_block(b: &Block, level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        print_stmt_indented(s, level + 1, out);
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+/// Print a statement at indentation level 0 (for tests and snippets).
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut out = String::new();
+    print_stmt_indented(s, 0, &mut out);
+    out
+}
+
+fn print_stmt_indented(s: &Stmt, level: usize, out: &mut String) {
+    match s {
+        Stmt::Decl { ty, name, init } => {
+            indent(level, out);
+            write!(out, "{} {name}", ty.c_name()).unwrap();
+            if let Some(e) = init {
+                write!(out, " = {}", print_expr(e)).unwrap();
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { lhs, op, rhs } => {
+            indent(level, out);
+            let lhs_s = match lhs {
+                LValue::Var(n) => n.clone(),
+                LValue::Index { base, indices } => {
+                    let mut s = base.clone();
+                    for i in indices {
+                        write!(s, "[{}]", print_expr(i)).unwrap();
+                    }
+                    s
+                }
+            };
+            writeln!(out, "{lhs_s} {} {};", op.c_name(), print_expr(rhs)).unwrap();
+        }
+        Stmt::If { cond, then, els } => {
+            indent(level, out);
+            write!(out, "if ({}) ", print_expr(cond)).unwrap();
+            print_block(then, level, out);
+            if let Some(e) = els {
+                out.push_str(" else ");
+                print_block(e, level, out);
+            }
+            out.push('\n');
+        }
+        Stmt::For(l) => {
+            if let Some(d) = &l.directive {
+                indent(level, out);
+                writeln!(out, "#pragma {}", d.render()).unwrap();
+            }
+            indent(level, out);
+            let decl = if l.declares_var { "int " } else { "" };
+            let step = match &l.step {
+                Expr::Int(1) => format!("{}++", l.var),
+                Expr::Int(-1) => format!("{}--", l.var),
+                e => format!("{} += {}", l.var, print_expr(e)),
+            };
+            write!(
+                out,
+                "for ({decl}{} = {}; {}; {step}) ",
+                l.var,
+                print_expr(&l.init),
+                print_expr(&l.cond)
+            )
+            .unwrap();
+            print_block(&l.body, level, out);
+            out.push('\n');
+        }
+        Stmt::While { cond, body } => {
+            indent(level, out);
+            write!(out, "while ({}) ", print_expr(cond)).unwrap();
+            print_block(body, level, out);
+            out.push('\n');
+        }
+        Stmt::Block(b) => {
+            indent(level, out);
+            print_block(b, level, out);
+            out.push('\n');
+        }
+        Stmt::Expr(e) => {
+            indent(level, out);
+            writeln!(out, "{};", print_expr(e)).unwrap();
+        }
+        Stmt::Return(e) => {
+            indent(level, out);
+            match e {
+                Some(e) => writeln!(out, "return {};", print_expr(e)).unwrap(),
+                None => out.push_str("return;\n"),
+            }
+        }
+    }
+}
+
+/// Print an expression with minimal but safe parenthesization.
+pub fn print_expr(e: &Expr) -> String {
+    print_prec(e, 0)
+}
+
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Ternary { .. } => 1,
+        Expr::Binary { op, .. } => match op {
+            BinOp::Or => 2,
+            BinOp::And => 3,
+            BinOp::Eq | BinOp::Ne => 4,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 7,
+        },
+        Expr::Unary { .. } | Expr::Cast { .. } => 8,
+        _ => 9,
+    }
+}
+
+fn print_prec(e: &Expr, min: u8) -> String {
+    let p = prec(e);
+    let s = match e {
+        Expr::Int(v) => format!("{v}"),
+        Expr::Float(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Var(n) => n.clone(),
+        Expr::Index { base, indices } => {
+            let mut s = base.clone();
+            for i in indices {
+                write!(s, "[{}]", print_prec(i, 0)).unwrap();
+            }
+            s
+        }
+        Expr::Unary { op, operand } => {
+            let inner = print_prec(operand, p + 1);
+            match op {
+                UnOp::Neg => format!("-{inner}"),
+                UnOp::Not => format!("!{inner}"),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            // left-associative: rhs needs strictly higher precedence
+            format!("{} {} {}", print_prec(lhs, p), op.c_name(), print_prec(rhs, p + 1))
+        }
+        Expr::Call { name, args } => {
+            let args: Vec<_> = args.iter().map(|a| print_prec(a, 0)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Ternary { cond, then, els } => {
+            format!(
+                "{} ? {} : {}",
+                print_prec(cond, p + 1),
+                print_prec(then, 0),
+                print_prec(els, p)
+            )
+        }
+        Expr::Cast { ty, expr } => format!("({}){}", ty.c_name(), print_prec(expr, p)),
+    };
+    if p < min {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    /// Round-trip: parse → print → parse must be a fixpoint on the AST.
+    fn roundtrip_expr(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = print_expr(&e1);
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| {
+            panic!("reparse of `{printed}` failed: {err}");
+        });
+        assert_eq!(e1, e2, "round-trip mismatch: `{src}` → `{printed}`");
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "a - (b - c)",
+            "a / b / c",
+            "-a * -b",
+            "a[i][j] + b[j][i]",
+            "f(x, y + 1)",
+            "a < b ? a : b",
+            "x % 4 == 0 && y != 2",
+            "alpha * tmp + beta * c[i][j]",
+            "-(a + b)",
+            "(double)n / 2.0",
+        ] {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
+    fn program_roundtrips() {
+        let src = r#"
+void k(double a[16][16], double b[16][16], int n) {
+  #pragma acc parallel loop gang num_gangs(8) vector_length(32)
+  for (int i = 0; i < n; i++) {
+    #pragma acc loop vector
+    for (int j = 0; j < n; j++) {
+      double t = a[i][j];
+      if (t < 0.0) {
+        t = -t;
+      }
+      b[i][j] = t * 2.0 + 1.0;
+    }
+  }
+}
+"#;
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2, "program round-trip failed:\n{printed}");
+        assert!(printed.contains("#pragma acc parallel loop gang num_gangs(8)"));
+    }
+
+    #[test]
+    fn negative_step_prints() {
+        let src = "void f() { for (int i = 10; i > 0; i--) { } }";
+        let p = parse_program(src).unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("i--"), "{printed}");
+    }
+
+    #[test]
+    fn float_formatting_stays_float() {
+        // 2.0 must not print as `2` (integer division hazards in C)
+        let e = parse_expr("x / 2.0").unwrap();
+        assert_eq!(print_expr(&e), "x / 2.0");
+    }
+}

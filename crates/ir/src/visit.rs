@@ -1,0 +1,315 @@
+//! Traversal utilities over the AST.
+
+use crate::ast::*;
+
+/// Visitor over expressions. `visit` is called for every node, parents first.
+pub trait ExprVisitor {
+    fn visit(&mut self, e: &Expr);
+}
+
+impl<F: FnMut(&Expr)> ExprVisitor for F {
+    fn visit(&mut self, e: &Expr) {
+        self(e)
+    }
+}
+
+/// Walk an expression tree, calling the visitor on every node (pre-order).
+pub fn walk_expr<V: ExprVisitor>(e: &Expr, v: &mut V) {
+    v.visit(e);
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+        Expr::Index { indices, .. } => {
+            for i in indices {
+                walk_expr(i, v);
+            }
+        }
+        Expr::Unary { operand, .. } => walk_expr(operand, v),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, v);
+            walk_expr(rhs, v);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, v);
+            }
+        }
+        Expr::Ternary { cond, then, els } => {
+            walk_expr(cond, v);
+            walk_expr(then, v);
+            walk_expr(els, v);
+        }
+        Expr::Cast { expr, .. } => walk_expr(expr, v),
+    }
+}
+
+/// Walk every expression contained in a statement (pre-order over the
+/// statement tree; conditions before bodies).
+pub fn walk_stmt<V: ExprVisitor>(s: &Stmt, v: &mut V) {
+    match s {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, v);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            if let LValue::Index { indices, .. } = lhs {
+                for i in indices {
+                    walk_expr(i, v);
+                }
+            }
+            walk_expr(rhs, v);
+        }
+        Stmt::If { cond, then, els } => {
+            walk_expr(cond, v);
+            for s in &then.stmts {
+                walk_stmt(s, v);
+            }
+            if let Some(e) = els {
+                for s in &e.stmts {
+                    walk_stmt(s, v);
+                }
+            }
+        }
+        Stmt::For(l) => {
+            walk_expr(&l.init, v);
+            walk_expr(&l.cond, v);
+            walk_expr(&l.step, v);
+            for s in &l.body.stmts {
+                walk_stmt(s, v);
+            }
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, v);
+            for s in &body.stmts {
+                walk_stmt(s, v);
+            }
+        }
+        Stmt::Block(b) => {
+            for s in &b.stmts {
+                walk_stmt(s, v);
+            }
+        }
+        Stmt::Expr(e) => walk_expr(e, v),
+        Stmt::Return(Some(e)) => walk_expr(e, v),
+        Stmt::Return(None) => {}
+    }
+}
+
+/// Collect the names of all arrays referenced (read or written) in a block.
+pub fn referenced_arrays(block: &Block) -> Vec<String> {
+    let mut names = Vec::new();
+    for s in &block.stmts {
+        // catch array stores first, whose base is in the LValue not an Expr
+        collect_store_bases(s, &mut names);
+    }
+    let mut visitor = |e: &Expr| {
+        if let Expr::Index { base, .. } = e {
+            if !names.contains(base) {
+                names.push(base.clone());
+            }
+        }
+    };
+    for s in &block.stmts {
+        walk_stmt(s, &mut visitor);
+    }
+    drop(visitor);
+    names
+}
+
+fn collect_store_bases(s: &Stmt, names: &mut Vec<String>) {
+    match s {
+        Stmt::Assign { lhs: LValue::Index { base, .. }, .. } => {
+            if !names.contains(base) {
+                names.push(base.clone());
+            }
+        }
+        Stmt::If { then, els, .. } => {
+            for s in &then.stmts {
+                collect_store_bases(s, names);
+            }
+            if let Some(e) = els {
+                for s in &e.stmts {
+                    collect_store_bases(s, names);
+                }
+            }
+        }
+        Stmt::For(l) => {
+            for s in &l.body.stmts {
+                collect_store_bases(s, names);
+            }
+        }
+        Stmt::While { body, .. } => {
+            for s in &body.stmts {
+                collect_store_bases(s, names);
+            }
+        }
+        Stmt::Block(b) => {
+            for s in &b.stmts {
+                collect_store_bases(s, names);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Count loads (array reads) and arithmetic operations in a block — a quick
+/// static profile used by tests and the compiler models.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StaticProfile {
+    pub loads: usize,
+    pub stores: usize,
+    pub flops: usize,
+    pub calls: usize,
+    pub divs: usize,
+}
+
+/// Compute a [`StaticProfile`] for a block.
+pub fn static_profile(block: &Block) -> StaticProfile {
+    let mut p = StaticProfile::default();
+    fn go_expr(e: &Expr, p: &mut StaticProfile) {
+        match e {
+            Expr::Index { indices, .. } => {
+                p.loads += 1;
+                for i in indices {
+                    go_expr(i, p);
+                }
+            }
+            Expr::Unary { operand, .. } => {
+                p.flops += 1;
+                go_expr(operand, p);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                match op {
+                    BinOp::Div | BinOp::Mod => p.divs += 1,
+                    _ => p.flops += 1,
+                }
+                go_expr(lhs, p);
+                go_expr(rhs, p);
+            }
+            Expr::Call { args, .. } => {
+                p.calls += 1;
+                for a in args {
+                    go_expr(a, p);
+                }
+            }
+            Expr::Ternary { cond, then, els } => {
+                p.flops += 1;
+                go_expr(cond, p);
+                go_expr(then, p);
+                go_expr(els, p);
+            }
+            Expr::Cast { expr, .. } => go_expr(expr, p),
+            _ => {}
+        }
+    }
+    fn go_stmt(s: &Stmt, p: &mut StaticProfile) {
+        match s {
+            Stmt::Decl { init, .. } => {
+                if let Some(e) = init {
+                    go_expr(e, p);
+                }
+            }
+            Stmt::Assign { lhs, op, rhs } => {
+                if let LValue::Index { indices, .. } = lhs {
+                    p.stores += 1;
+                    for i in indices {
+                        go_expr(i, p);
+                    }
+                    // compound assignment also loads the old value
+                    if op.binop().is_some() {
+                        p.loads += 1;
+                    }
+                }
+                if op.binop().is_some() {
+                    p.flops += 1;
+                }
+                go_expr(rhs, p);
+            }
+            Stmt::If { cond, then, els } => {
+                go_expr(cond, p);
+                for s in &then.stmts {
+                    go_stmt(s, p);
+                }
+                if let Some(e) = els {
+                    for s in &e.stmts {
+                        go_stmt(s, p);
+                    }
+                }
+            }
+            Stmt::For(l) => {
+                go_expr(&l.cond, p);
+                for s in &l.body.stmts {
+                    go_stmt(s, p);
+                }
+            }
+            Stmt::While { cond, body } => {
+                go_expr(cond, p);
+                for s in &body.stmts {
+                    go_stmt(s, p);
+                }
+            }
+            Stmt::Block(b) => {
+                for s in &b.stmts {
+                    go_stmt(s, p);
+                }
+            }
+            Stmt::Expr(e) => go_expr(e, p),
+            Stmt::Return(Some(e)) => go_expr(e, p),
+            Stmt::Return(None) => {}
+        }
+    }
+    for s in &block.stmts {
+        go_stmt(s, &mut p);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn body_of(src: &str) -> Block {
+        parse_program(src).unwrap().functions[0].body.clone()
+    }
+
+    #[test]
+    fn walk_counts_nodes() {
+        let b = body_of("void f(double a[4]) { a[0] = a[1] + a[2] * 3.0; }");
+        let mut n = 0usize;
+        for s in &b.stmts {
+            walk_stmt(s, &mut |_: &Expr| n += 1);
+        }
+        // rhs: +, a[1], 1, *, a[2], 2, 3.0  plus lhs index 0
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn referenced_arrays_includes_stores() {
+        let b = body_of("void f(double a[4], double b[4]) { b[0] = 1.0; double x = a[1]; }");
+        let names = referenced_arrays(&b);
+        assert!(names.contains(&"a".to_string()));
+        assert!(names.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn static_profile_counts() {
+        let b = body_of(
+            "void f(double a[4], double b[4]) { b[0] = a[0] * a[1] + a[2] / a[3]; }",
+        );
+        let p = static_profile(&b);
+        assert_eq!(p.loads, 4);
+        assert_eq!(p.stores, 1);
+        assert_eq!(p.flops, 2); // * and +
+        assert_eq!(p.divs, 1);
+    }
+
+    #[test]
+    fn compound_assign_counts_extra_load() {
+        let b = body_of("void f(double a[4]) { a[0] += 1.0; }");
+        let p = static_profile(&b);
+        assert_eq!(p.loads, 1);
+        assert_eq!(p.stores, 1);
+        assert_eq!(p.flops, 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Domain scenario: the paper's headline experiment — NPB-BT's z_solve
+//! kernel (Listing 2) through all four variants on NVHPC and GCC, with
+//! per-kernel simulated metrics. Shows why bulk load dominates: the GCC
+//! `kernels`-directive baseline is latency-bound.
+//!
+//! Run with: `cargo run --release --example npb_bt_speedup`
+
+use acc_saturator::{evaluate_benchmark, speedup, Variant};
+use accsat_compilers::{Compiler, CompilerModel};
+use accsat_gpusim::Device;
+use accsat_ir::Model;
+
+fn main() {
+    let dev = Device::a100_pcie_40gb();
+    let npb = accsat_benchmarks::npb_benchmarks();
+    let bt = &npb[0];
+
+    for compiler in [Compiler::Nvhpc, Compiler::Gcc] {
+        let cm = CompilerModel::new(compiler, Model::OpenAcc);
+        let original = evaluate_benchmark(bt, Variant::Original, &cm, &dev).expect("original");
+        println!(
+            "== NPB-BT on {} — original {:.2}s ==",
+            compiler.name(),
+            original.total_time_s
+        );
+        for k in &original.kernels {
+            println!(
+                "   {}: {:.4} ms/launch, {:.1} Minstr, mem {:.0}%, {} regs, occ {:.0}%",
+                k.function,
+                k.metrics.time_ms,
+                k.metrics.instructions / 1e6,
+                k.metrics.mem_util * 100.0,
+                k.metrics.regs_per_thread,
+                k.metrics.occupancy * 100.0
+            );
+        }
+        for v in Variant::all() {
+            let r = evaluate_benchmark(bt, v, &cm, &dev).expect("variant");
+            println!(
+                "   {:>9}: {:.2}s  speedup {:.2}x",
+                v.label(),
+                r.total_time_s,
+                speedup(&original, &r)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Domain scenario: a 3-D Jacobi stencil (the SPEC `ostencil` pattern)
+//! showing the bulk-load transformation in the generated source and its
+//! effect in the warp scoreboard — memory-level parallelism from issuing
+//! all halo loads before the first use.
+//!
+//! Run with: `cargo run --release --example stencil_bulk_load`
+
+use acc_saturator::{optimize_program, Variant};
+use accsat_compilers::{compile_kernel, Compiler, CompilerModel};
+use accsat_gpusim::{simulate, Device};
+use accsat_ir::{parse_program, print_program, Model};
+use std::collections::HashMap;
+
+fn main() {
+    let src = accsat_benchmarks::spec::ostencil_source();
+    let prog = parse_program(&src).unwrap();
+    let dev = Device::a100_pcie_40gb();
+    let cm = CompilerModel::new(Compiler::Gcc, Model::OpenAcc);
+    let bindings: HashMap<String, i64> =
+        [("nx".to_string(), 256i64), ("gp".to_string(), 8i64)].into();
+
+    for variant in [Variant::Cse, Variant::AccSat] {
+        let (opt, _) = optimize_program(&prog, variant).unwrap();
+        println!("=== {} ===\n{}", variant.label(), print_program(&opt));
+        let k = compile_kernel(&opt.functions[0], &cm, &bindings).unwrap();
+        let sim = simulate(&k.trace, k.launch.warps_per_block, &dev);
+        let (flops, _, _, loads, stores) = k.trace.op_counts();
+        println!(
+            "// trace: {flops} flops, {loads} loads, {stores} stores — \
+             {} cycles/block, {} B DRAM\n",
+            sim.cycles, sim.dram_bytes
+        );
+    }
+    println!(
+        "ACCSAT issues the six halo loads back-to-back (sorted by index),\n\
+         so their ~500-cycle latencies overlap instead of serializing."
+    );
+}

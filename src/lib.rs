@@ -1,0 +1,9 @@
+//! Root crate of the ACC Saturator reproduction — a façade over the
+//! workspace. Use [`accsat`] (re-exported here in full) for the pipeline,
+//! or the individual substrate crates.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use accsat::*;

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: every benchmark kernel, optimized under
+//! every variant, must compute the same results as the original when
+//! executed by the interpreter (paper §IV: semantics preservation is the
+//! core obligation; tolerance reflects the `-ffast-math` compilation mode).
+
+use acc_saturator::{optimize_program, Variant};
+use accsat_benchmarks::Benchmark;
+use accsat_interp::{compare_arrays, run_function, ArrayData, Env, Value};
+use accsat_ir::{parse_program, print_program, Program};
+
+/// Deterministic xorshift for reproducible inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        ((self.0 >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Build an environment binding every parameter of every function:
+/// float arrays get random data, integer arrays get structure-aware values
+/// (CSR `rowstr`/`colidx` must stay in bounds), scalars come from the
+/// benchmark bindings or small constants.
+fn setup_env(prog: &Program, bench: &Benchmark, seed: u64) -> Env {
+    let mut env = Env::new();
+    let mut rng = Rng(seed | 1);
+    let bindings = bench.bindings_map();
+    for f in &prog.functions {
+        for p in &f.params {
+            if p.is_array() {
+                if p.name.contains("rowstr") {
+                    // CSR row offsets: increasing, bounded by the value
+                    // array length (64k) with ~8 nnz per row
+                    let n = p.len();
+                    let data: Vec<i64> = (0..n).map(|i| (i as i64) * 8).collect();
+                    env.set_array(&p.name, ArrayData::from_i64(&p.dims, data));
+                } else if p.name.contains("colidx") {
+                    let n = p.len();
+                    let cols = 4096i64; // length of `p` in the CG kernels
+                    let data: Vec<i64> =
+                        (0..n).map(|_| (rng.next_u64() % cols as u64) as i64).collect();
+                    env.set_array(&p.name, ArrayData::from_i64(&p.dims, data));
+                } else if p.ty == accsat_ir::Type::Int {
+                    let data: Vec<i64> = (0..p.len()).map(|_| (rng.next_u64() % 7) as i64).collect();
+                    env.set_array(&p.name, ArrayData::from_i64(&p.dims, data));
+                } else {
+                    let data: Vec<f64> =
+                        (0..p.len()).map(|_| rng.next_f64() * 2.0 + 0.5).collect();
+                    env.set_array(&p.name, ArrayData::from_f64(&p.dims, data));
+                }
+            } else if let Some(&v) = bindings.get(&p.name) {
+                env.set_scalar(&p.name, Value::Int(v));
+            } else if p.ty == accsat_ir::Type::Int {
+                env.set_scalar(&p.name, Value::Int(4));
+            } else {
+                env.set_f64(&p.name, rng.next_f64() + 1.5);
+            }
+        }
+    }
+    env
+}
+
+fn check_benchmark(bench: &Benchmark, src: &str, label: &str) {
+    let prog = parse_program(src).unwrap_or_else(|e| panic!("{label}: parse: {e}"));
+    let base = setup_env(&prog, bench, 0xACC5A7);
+    let mut env_orig = base.clone();
+    for f in &prog.functions {
+        run_function(f, &mut env_orig)
+            .unwrap_or_else(|e| panic!("{label}::{}: original run: {e}", f.name));
+    }
+    for variant in Variant::all() {
+        let (opt, _) = optimize_program(&prog, variant)
+            .unwrap_or_else(|e| panic!("{label} {variant:?}: optimize: {e}"));
+        let mut env_opt = base.clone();
+        for f in &opt.functions {
+            run_function(f, &mut env_opt).unwrap_or_else(|e| {
+                panic!(
+                    "{label}::{} {variant:?}: optimized run: {e}\n{}",
+                    f.name,
+                    print_program(&opt)
+                )
+            });
+        }
+        if let Some((arr, i, a, b)) = compare_arrays(&env_orig, &env_opt, 1e-6) {
+            panic!(
+                "{label} {variant:?}: {arr}[{i}] diverged: {a} vs {b}\n{}",
+                print_program(&opt)
+            );
+        }
+    }
+}
+
+#[test]
+fn npb_acc_kernels_preserve_semantics() {
+    for bench in accsat_benchmarks::npb_benchmarks() {
+        check_benchmark(&bench, &bench.acc_source.clone(), bench.name);
+    }
+}
+
+#[test]
+fn spec_acc_kernels_preserve_semantics() {
+    for bench in accsat_benchmarks::spec_benchmarks() {
+        check_benchmark(&bench, &bench.acc_source.clone(), bench.name);
+    }
+}
+
+#[test]
+fn spec_omp_kernels_preserve_semantics() {
+    for bench in accsat_benchmarks::spec_benchmarks() {
+        let omp = bench.omp_source();
+        check_benchmark(&bench, &omp, &format!("p{}", bench.name));
+    }
+}
+
+#[test]
+fn optimized_code_reparses_and_reoptimizes() {
+    // generated code must be valid input for another optimization round
+    for bench in accsat_benchmarks::npb_benchmarks() {
+        let prog = parse_program(&bench.acc_source).unwrap();
+        let (once, _) = optimize_program(&prog, Variant::AccSat).unwrap();
+        let text = print_program(&once);
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse: {e}\n{text}", bench.name));
+        let (_twice, stats) = optimize_program(&reparsed, Variant::AccSat)
+            .unwrap_or_else(|e| panic!("{}: second round: {e}", bench.name));
+        assert!(!stats.is_empty());
+    }
+}
