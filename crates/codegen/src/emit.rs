@@ -468,7 +468,7 @@ impl<'a> Emitter<'a> {
         // 1. everything that is due now
         let mut due: Vec<Id> = Vec::new();
         scheduled.retain(|&(c, item)| {
-            if item <= next_item && self.avail.get(&c).is_none() {
+            if item <= next_item && !self.avail.contains_key(&c) {
                 due.push(c);
                 false
             } else {
@@ -640,8 +640,8 @@ impl<'a> Emitter<'a> {
                     }),
                 }
                 self.var_binding.insert(name.clone(), class);
-                if !self.avail.contains_key(&class) {
-                    self.avail.insert(class, Expr::Var(name.clone()));
+                if let std::collections::hash_map::Entry::Vacant(e) = self.avail.entry(class) {
+                    e.insert(Expr::Var(name.clone()));
                     self.volatile_var.insert(class, name.clone());
                 }
             }
@@ -695,8 +695,8 @@ impl<'a> Emitter<'a> {
         // scalar φ — but names can also be arrays seen for the first time
         if self.tm.type_of(name) != Type::Void {
             self.var_binding.insert(name.to_string(), phi);
-            if !self.avail.contains_key(&phi) {
-                self.avail.insert(phi, Expr::Var(name.to_string()));
+            if let std::collections::hash_map::Entry::Vacant(e) = self.avail.entry(phi) {
+                e.insert(Expr::Var(name.to_string()));
                 self.volatile_var.insert(phi, name.to_string());
             }
         }
@@ -710,8 +710,8 @@ impl<'a> Emitter<'a> {
             return;
         }
         self.var_binding.insert(name.to_string(), entry);
-        if !self.avail.contains_key(&entry) {
-            self.avail.insert(entry, Expr::Var(name.to_string()));
+        if let std::collections::hash_map::Entry::Vacant(e) = self.avail.entry(entry) {
+            e.insert(Expr::Var(name.to_string()));
             self.volatile_var.insert(entry, name.to_string());
         }
     }

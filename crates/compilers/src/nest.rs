@@ -138,9 +138,9 @@ pub fn analyze_nest(f: &Function, bindings: &HashMap<String, i64>) -> Option<Loo
         levels.push(NestLevel {
             var: cur.var.clone(),
             trip: trip_count(cur, bindings).unwrap_or(64),
-            has_gang: d.map_or(false, |d| d.has_gang()),
-            has_worker: d.map_or(false, |d| d.has_worker()),
-            has_vector: d.map_or(false, |d| d.has_vector()),
+            has_gang: d.is_some_and(|d| d.has_gang()),
+            has_worker: d.is_some_and(|d| d.has_worker()),
+            has_vector: d.is_some_and(|d| d.has_vector()),
             num_gangs: d.and_then(|d| d.num_gangs()),
             num_workers: d.and_then(|d| d.num_workers()),
             vector_length: d.and_then(|d| d.vector_length()),

@@ -203,6 +203,56 @@ impl EGraph {
     /// Restore the congruence invariant after unions (egg's deferred
     /// rebuilding). Must be called before e-matching.
     pub fn rebuild(&mut self) {
+        // Only unions make memo keys stale, and every union marks a class
+        // dirty — a completed rebuild leaves the memo fully canonical, so
+        // with nothing dirty there is nothing to repair or sweep.
+        if self.dirty.is_empty() {
+            return;
+        }
+        loop {
+            self.process_dirty();
+            // A congruence node appears in every child's parents list, each
+            // holding the node form current when that entry was created. A
+            // repair pass re-canonicalizes only the form it holds, so a
+            // second child merged later removes a key the first repair
+            // already replaced — leaving its half-canonical replacement
+            // stranded in the memo. Sweep such keys up to a fixpoint; the
+            // collisions this surfaces are congruences, merged like any
+            // other.
+            let stale: Vec<Node> = self
+                .memo
+                .keys()
+                .filter(|n| n.children.iter().any(|&c| self.unionfind.find(c) != c))
+                .cloned()
+                .collect();
+            if stale.is_empty() {
+                break;
+            }
+            for old in stale {
+                let id = self.memo.remove(&old).expect("stale key present");
+                let canon = self.canonicalize(&old);
+                let id = self.unionfind.find_mut(id);
+                match self.memo.get(&canon) {
+                    Some(&other) => {
+                        let other = self.unionfind.find_mut(other);
+                        if other != id {
+                            let (merged, _) = self.union(other, id);
+                            self.memo.insert(canon, merged);
+                        }
+                    }
+                    None => {
+                        self.memo.insert(canon, id);
+                    }
+                }
+            }
+            if self.dirty.is_empty() {
+                break;
+            }
+        }
+        debug_assert!(self.dirty.is_empty());
+    }
+
+    fn process_dirty(&mut self) {
         while let Some(dirty_id) = self.dirty.pop() {
             let id = self.unionfind.find_mut(dirty_id);
             if self.classes[id.index()].is_none() {
@@ -267,7 +317,6 @@ impl EGraph {
                 self.propagate_constants();
             }
         }
-        debug_assert!(self.dirty.is_empty());
     }
 
     /// Re-evaluate constant data for classes whose children gained
@@ -494,6 +543,32 @@ mod tests {
         let b = leaf(&mut eg, "b");
         let s = eg.add(Node::new(Op::Mul, vec![a, b]));
         assert_eq!(eg.term_string(s), "(* a b)");
+    }
+
+    #[test]
+    fn rebuild_purges_half_canonical_memo_keys() {
+        // m = (* a b) lives in the parents lists of BOTH a and b, each
+        // holding the node form current when the entry was created. Merging
+        // b away rewrites m's memo key to (* a b2); merging a away later
+        // removes by the original form (* a b), which misses — the
+        // intermediate key (* a b2) must be swept by rebuild, not left
+        // half-canonical. (Found by proptest seed 0x129038e447bd52ca.)
+        let mut eg = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let m = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let a2 = leaf(&mut eg, "a2");
+        let b2 = leaf(&mut eg, "b2");
+        // give the replacements parents so they survive as union roots
+        eg.add(Node::new(Op::Neg, vec![a2]));
+        eg.add(Node::new(Op::Neg, vec![b2]));
+        eg.union(b2, b);
+        eg.rebuild();
+        eg.union(a2, a);
+        eg.rebuild();
+        eg.check_invariants();
+        let relooked = eg.lookup(&Node::new(Op::Mul, vec![a2, b2])).expect("congruent node");
+        assert!(eg.same(m, relooked));
     }
 
     #[test]

@@ -136,4 +136,106 @@ mod tests {
         assert_eq!(r, a);
         assert_eq!(uf.num_sets(), 1);
     }
+
+    /// Naive reference partition: `labels[i]` is the set label of id `i`,
+    /// merged by full relabel on every union.
+    struct Reference {
+        labels: Vec<usize>,
+    }
+
+    impl Reference {
+        fn new(n: usize) -> Reference {
+            Reference { labels: (0..n).collect() }
+        }
+        fn union(&mut self, to: usize, from: usize) {
+            let (keep, gone) = (self.labels[to], self.labels[from]);
+            for l in &mut self.labels {
+                if *l == gone {
+                    *l = keep;
+                }
+            }
+        }
+        fn same(&self, a: usize, b: usize) -> bool {
+            self.labels[a] == self.labels[b]
+        }
+        fn num_sets(&self) -> usize {
+            let mut ls: Vec<usize> = self.labels.clone();
+            ls.sort_unstable();
+            ls.dedup();
+            ls.len()
+        }
+    }
+
+    #[test]
+    fn random_unions_match_reference_partition() {
+        // Deterministic LCG so failures reproduce.
+        let mut state = 0x2545f491_4f6cdd1du64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        const N: usize = 100;
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..N).map(|_| uf.make_set()).collect();
+        let mut reference = Reference::new(N);
+
+        for step in 0..400 {
+            let (a, b) = (rng() % N, rng() % N);
+            let root = uf.union(ids[a], ids[b]);
+            reference.union(a, b);
+            // the surviving root is `to`'s representative
+            assert_eq!(root, uf.find(ids[a]), "step {step}: union did not keep `to`'s root");
+            // the partitions agree on every pair sampled this round
+            for _ in 0..16 {
+                let (x, y) = (rng() % N, rng() % N);
+                assert_eq!(
+                    uf.same(ids[x], ids[y]),
+                    reference.same(x, y),
+                    "step {step}: partition disagrees on ({x}, {y})"
+                );
+            }
+            assert_eq!(uf.num_sets(), reference.num_sets(), "step {step}: set count drifted");
+        }
+    }
+
+    #[test]
+    fn find_is_idempotent_and_consistent_with_find_mut() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..32).map(|_| uf.make_set()).collect();
+        for i in (0..32).step_by(2) {
+            uf.union(ids[i], ids[(i + 7) % 32]);
+        }
+        for &id in &ids {
+            let r = uf.find(id);
+            assert_eq!(uf.find(r), r, "find(find(x)) must equal find(x)");
+            assert_eq!(uf.find_mut(id), r, "find_mut must agree with find");
+            // and path halving must not have changed any representative
+            assert_eq!(uf.find(id), r);
+        }
+    }
+
+    #[test]
+    fn congruence_closure_style_merges() {
+        // The e-graph's congruence restoration unions classes whose nodes
+        // become equal after canonicalization; the union-find must support
+        // the resulting cascades: union chains built in both directions
+        // still produce one set with a stable representative.
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..16).map(|_| uf.make_set()).collect();
+        // f(a)=f(b) merges, pairwise from both ends
+        for i in 0..8 {
+            uf.union(ids[i], ids[15 - i]);
+        }
+        // then collapse the pairs left-to-right, as rebuild's worklist would
+        for i in 0..7 {
+            uf.union(ids[i], ids[i + 1]);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        let root = uf.find(ids[0]);
+        assert_eq!(root, ids[0], "first `to` of the final cascade survives");
+        for &id in &ids {
+            assert_eq!(uf.find_mut(id), root);
+        }
+        assert_eq!(uf.len(), 16, "len counts ids ever created, not sets");
+    }
 }

@@ -96,7 +96,7 @@ impl<'a> Search<'a> {
         bound_extra: u64,
     ) {
         self.explored += 1;
-        if self.explored % 256 == 0 && Instant::now() >= self.deadline {
+        if self.explored.is_multiple_of(256) && Instant::now() >= self.deadline {
             self.timed_out = true;
         }
         if self.timed_out || cost + bound_extra >= self.best_cost {

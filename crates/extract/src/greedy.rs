@@ -18,7 +18,7 @@ pub fn extract_greedy(eg: &EGraph, roots: &[Id], cm: &CostModel) -> Selection {
         let mut best: Option<(u64, usize)> = None;
         for (i, node) in class.nodes.iter().enumerate() {
             if let Some(c) = node_cost(eg, cm, node, &costs) {
-                if best.map_or(true, |(bc, _)| c < bc) {
+                if best.is_none_or(|(bc, _)| c < bc) {
                     best = Some((c, i));
                 }
             }
@@ -54,7 +54,7 @@ pub fn class_costs(eg: &EGraph, cm: &CostModel) -> Vec<Option<u64>> {
             for node in &class.nodes {
                 let c = node_cost_vec(eg, cm, node, &costs);
                 if let Some(c) = c {
-                    if best.map_or(true, |b| c < b) {
+                    if best.is_none_or(|b| c < b) {
                         best = Some(c);
                     }
                 }

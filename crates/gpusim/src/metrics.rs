@@ -27,7 +27,7 @@ pub fn resident_blocks(dev: &Device, cfg: &LaunchConfig) -> u32 {
     let by_threads = dev.max_threads_per_sm / threads_per_block;
     let regs_per_block = (cfg.regs_per_thread.max(1)) * threads_per_block;
     let by_regs = dev.regs_per_sm / regs_per_block.max(1);
-    by_threads.min(by_regs).min(dev.max_blocks_per_sm).max(0)
+    by_threads.min(by_regs).min(dev.max_blocks_per_sm)
 }
 
 /// SM occupancy: resident warps / maximum warps.
@@ -68,7 +68,7 @@ pub fn run_kernel(trace: &Trace, cfg: &LaunchConfig, dev: &Device) -> KernelMetr
     // blocks actually co-resident in one wave (a small grid does not fill
     // the device — the GCC `kernels` baselines live in this regime)
     let blocks_per_wave = cfg.grid_blocks.min(concurrent).max(1);
-    let per_sm_blocks = (blocks_per_wave + dev.num_sms as u64 - 1) / dev.num_sms as u64;
+    let per_sm_blocks = blocks_per_wave.div_ceil(dev.num_sms as u64);
 
     // multiple resident blocks interleave: issue slots are shared, so a wave
     // of B blocks takes ~B× the single-block instruction-throughput time but

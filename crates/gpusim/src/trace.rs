@@ -675,7 +675,7 @@ pub fn schedule_loads(trace: &Trace, window: usize) -> Trace {
         let mut target = i.saturating_sub(window);
         for j in (target..i).rev() {
             let inst = &insts[j];
-            let defines_src = inst.dst.map_or(false, |d| load.srcs.contains(&d));
+            let defines_src = inst.dst.is_some_and(|d| load.srcs.contains(&d));
             let conflicting_store =
                 matches!(inst.op, SimOp::Store { base, .. } if base == load_base);
             if defines_src || conflicting_store {

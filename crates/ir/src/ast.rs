@@ -121,6 +121,7 @@ impl Expr {
     }
 
     /// Convenience constructor for `-x`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(e: Expr) -> Expr {
         Expr::Unary { op: UnOp::Neg, operand: Box::new(e) }
     }

@@ -352,4 +352,95 @@ mod tests {
         assert_eq!(toks[1].line, 2);
         assert_eq!(toks[2].line, 4);
     }
+
+    /// Render a token stream back to lexable text. Floats use Rust's `{:?}`,
+    /// which always includes a decimal point or exponent, so they re-lex as
+    /// floats; pragmas get their own line.
+    fn render(tokens: &[Token]) -> String {
+        let mut out = String::new();
+        for t in tokens {
+            match &t.kind {
+                TokenKind::Ident(s) => {
+                    out.push_str(s);
+                    out.push(' ');
+                }
+                TokenKind::Int(v) => {
+                    assert!(*v >= 0, "lexer never produces negative literals");
+                    out.push_str(&v.to_string());
+                    out.push(' ');
+                }
+                TokenKind::Float(v) => {
+                    out.push_str(&format!("{v:?} "));
+                }
+                TokenKind::Pragma(p) => {
+                    out.push_str(&format!("\n#pragma {p}\n"));
+                }
+                TokenKind::Punct(p) => {
+                    out.push_str(p);
+                    out.push(' ');
+                }
+                TokenKind::Eof => {}
+            }
+        }
+        out
+    }
+
+    fn assert_token_roundtrip(src: &str) {
+        let original = Lexer::new(src).tokenize();
+        let rendered = render(&original);
+        let relexed = Lexer::new(&rendered).tokenize();
+        let ks = |ts: &[Token]| ts.iter().map(|t| t.kind.clone()).collect::<Vec<_>>();
+        assert_eq!(
+            ks(&original),
+            ks(&relexed),
+            "token stream changed across render/relex\n--- rendered:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_pragma_heavy_kernel() {
+        assert_token_roundtrip(
+            "void z_solve(double lhs[64][64], double rhs[64], int nz) {\n\
+             #pragma acc parallel loop gang num_gangs(63) num_workers(4) \\\n\
+                 vector_length(32) present(lhs, rhs)\n\
+             for (int k = 1; k < nz - 1; k++) {\n\
+               #pragma acc loop vector reduction(+:sum)\n\
+               for (int i = 0; i < 64; i++) {\n\
+                 lhs[k][i] = lhs[k][i] - rhs[i] * 0.5 + 1e-6;\n\
+               }\n\
+             }\n\
+             #pragma omp target teams distribute\n\
+             for (int j = 0; j < 64; j++) { rhs[j] = 0.0; }\n\
+             }\n",
+        );
+    }
+
+    #[test]
+    fn roundtrip_operator_soup() {
+        assert_token_roundtrip(
+            "a += b * c / d % e; x <<= 2; y >>= 1; p = q == r != s <= t >= u && v || !w;\n\
+             n++; m--; f = g ? h : i; arr[j] = *ptr + (k & l | m ^ 0x1f) << 3 >> 1;",
+        );
+    }
+
+    #[test]
+    fn roundtrip_numeric_edge_cases() {
+        assert_token_roundtrip("0 1 42 0x0 0xff 3u 7L 0.5 .5 1. 1e3 2.5e-2 1.0e+1 0.f 6.25e-4");
+    }
+
+    #[test]
+    fn roundtrip_every_benchmark_pragma_shape() {
+        // The pragma spellings the benchmark suites actually use, including
+        // continuations and clause lists with nested parens.
+        for pragma in [
+            "acc parallel loop gang vector_length(128)",
+            "acc kernels loop independent",
+            "acc loop worker(4) vector(32)",
+            "acc parallel loop reduction(+:norm) present(a, b)",
+            "omp target teams distribute num_teams(120)",
+            "omp parallel for simd reduction(max:err)",
+        ] {
+            assert_token_roundtrip(&format!("#pragma {pragma}\nfor (int i = 0; i < n; i++) x[i] = 0;"));
+        }
+    }
 }

@@ -77,7 +77,7 @@ pub fn has_directive_loop(block: &Block) -> bool {
     block.stmts.iter().any(|s| match s {
         Stmt::For(l) => l.directive.is_some() || has_directive_loop(&l.body),
         Stmt::If { then, els, .. } => {
-            has_directive_loop(then) || els.as_ref().map_or(false, has_directive_loop)
+            has_directive_loop(then) || els.as_ref().is_some_and(has_directive_loop)
         }
         Stmt::While { body, .. } => has_directive_loop(body),
         Stmt::Block(b) => has_directive_loop(b),

@@ -641,7 +641,7 @@ impl<'a> DirectiveLexer<'a> {
             && trimmed[w.len()..]
                 .chars()
                 .next()
-                .map_or(true, |c| !(c.is_ascii_alphanumeric() || c == '_'))
+                .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'))
         {
             self.rest = &trimmed[w.len()..];
             true

@@ -112,17 +112,15 @@ pub fn referenced_arrays(block: &Block) -> Vec<String> {
     for s in &block.stmts {
         walk_stmt(s, &mut visitor);
     }
-    drop(visitor);
     names
 }
 
 fn collect_store_bases(s: &Stmt, names: &mut Vec<String>) {
     match s {
-        Stmt::Assign { lhs: LValue::Index { base, .. }, .. } => {
-            if !names.contains(base) {
+        Stmt::Assign { lhs: LValue::Index { base, .. }, .. }
+            if !names.contains(base) => {
                 names.push(base.clone());
             }
-        }
         Stmt::If { then, els, .. } => {
             for s in &then.stmts {
                 collect_store_bases(s, names);

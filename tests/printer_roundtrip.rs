@@ -1,0 +1,46 @@
+//! Golden-output tests: `parse → print → parse` must be the identity (and
+//! `print` a fixpoint) on every benchmark source, so printer drift is caught
+//! here instead of deep inside the slow optimize path.
+
+use accsat_benchmarks::all_benchmarks;
+use accsat_ir::{parse_program, print_program};
+
+fn assert_roundtrip(name: &str, src: &str) {
+    let p1 = parse_program(src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+    let s1 = print_program(&p1);
+    let p2 = parse_program(&s1)
+        .unwrap_or_else(|e| panic!("{name}: reparse of printed output failed: {e}\n--- printed:\n{s1}"));
+    assert_eq!(p1, p2, "{name}: parse→print→parse changed the AST");
+    let s2 = print_program(&p2);
+    assert_eq!(s1, s2, "{name}: print is not a fixpoint");
+}
+
+#[test]
+fn acc_sources_roundtrip() {
+    let benchmarks = all_benchmarks();
+    assert!(!benchmarks.is_empty());
+    for b in &benchmarks {
+        assert_roundtrip(b.name, &b.acc_source);
+    }
+}
+
+#[test]
+fn omp_sources_roundtrip() {
+    for b in all_benchmarks().iter().filter(|b| b.has_omp) {
+        assert_roundtrip(&format!("{} (omp)", b.name), &b.omp_source());
+    }
+}
+
+#[test]
+fn optimized_output_reparses() {
+    // The printer must also round-trip what codegen produces (temporaries,
+    // bulk loads), not just pristine sources: spot-check one benchmark per
+    // suite through the full pipeline.
+    use acc_saturator::{optimize_program, Variant};
+    for b in [&all_benchmarks()[0], all_benchmarks().last().unwrap()] {
+        let prog = parse_program(&b.acc_source).unwrap();
+        let (opt, _) = optimize_program(&prog, Variant::AccSat)
+            .unwrap_or_else(|e| panic!("{}: optimize failed: {e}", b.name));
+        assert_roundtrip(&format!("{} (optimized)", b.name), &print_program(&opt));
+    }
+}

@@ -1,0 +1,35 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use std::ops::Range;
+
+/// Trait unifying the size arguments `vec` accepts (a range or an exact
+/// length), mirroring the real crate's `SizeRange` conversions.
+pub trait IntoSizeRange {
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+/// A vector of values from `element`, with length drawn from `size`.
+pub fn vec<S>(element: S, size: impl IntoSizeRange) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    let (lo, hi) = size.bounds();
+    assert!(lo < hi, "empty size range for collection::vec");
+    BoxedStrategy::from_fn(move |rng| {
+        let n = lo + rng.gen_range_u64(0, (hi - lo) as u64) as usize;
+        (0..n).map(|_| element.generate(rng)).collect()
+    })
+}

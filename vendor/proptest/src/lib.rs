@@ -1,0 +1,100 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest's API that the workspace's tests use:
+//! strategies (ranges, `Just`, tuples, `prop_oneof!`, `prop_map`,
+//! `prop_recursive`, `collection::vec`), the `proptest!`/`prop_assert!`
+//! macros, and file-based regression persistence (`proptest-regressions/`).
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case is reported (and persisted) with the
+//!   RNG seed that produced it, not a minimized value.
+//! * **Deterministic runs.** Case seeds derive from a fixed base seed (hash
+//!   of the test name) so CI failures reproduce locally; set
+//!   `PROPTEST_RNG_SEED` to explore a different stream.
+//! * Regression files hold `cc <16-hex-digit seed>` lines rather than the
+//!   real crate's case hashes.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniformly choose among strategies. All arms are boxed to a common type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// The `proptest! { ... }` block: expands each `fn name(pat in strategy, ...)`
+/// into a plain test fn that drives [`test_runner::run_test`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run_test(&config, file!(), stringify!($name), |rng| {
+                    $(
+                        let value = $crate::strategy::Strategy::generate(&($strat), rng);
+                        rng.record_input(format!("{} = {:?}", stringify!($pat), value));
+                        let $pat = value;
+                    )+
+                    let mut body = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    };
+                    body()
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*
+        }
+    };
+}

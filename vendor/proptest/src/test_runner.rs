@@ -1,0 +1,216 @@
+//! The test driver: deterministic RNG, per-test configuration, and
+//! file-based regression persistence compatible in spirit with
+//! `proptest-regressions/`.
+
+use std::fmt;
+use std::fs;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A test-case failure (the `Err` side of a proptest body).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(format!("rejected: {}", msg.into()))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic RNG handed to strategies. Also records a debug dump of
+/// each generated input so failures can show what they were (there is no
+/// shrinking to reconstruct them from).
+pub struct TestRng {
+    state: u64,
+    inputs: Vec<String>,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed, inputs: Vec::new() }
+    }
+
+    pub fn gen_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.gen_u64() % (hi - lo)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.gen_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn record_input(&mut self, dump: String) {
+        self.inputs.push(dump);
+    }
+}
+
+fn regression_path(source_file: &str) -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    let rel = PathBuf::from(source_file);
+    // `tests/foo.rs` → `foo.txt`; deeper paths keep everything after the
+    // first component, mirroring proptest's source-parallel layout.
+    let mut comps = rel.components();
+    comps.next();
+    let tail = comps.as_path();
+    let tail = if tail.as_os_str().is_empty() { rel.as_path() } else { tail };
+    PathBuf::from(manifest)
+        .join("proptest-regressions")
+        .join(tail.with_extension("txt"))
+}
+
+fn load_regression_seeds(source_file: &str, test_name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(regression_path(source_file)) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Format: `cc <hex seed> [test_name]` — seeds tagged with another
+        // test's name are skipped; untagged seeds run everywhere.
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        let Some(hex) = parts.next() else { continue };
+        if let Some(tag) = parts.next() {
+            if tag != test_name {
+                continue;
+            }
+        }
+        if let Ok(seed) = u64::from_str_radix(hex.trim_start_matches("0x"), 16) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+fn persist_failure(source_file: &str, test_name: &str, seed: u64) {
+    let path = regression_path(source_file);
+    let existing = fs::read_to_string(&path).unwrap_or_default();
+    let line = format!("cc {seed:016x} {test_name}");
+    if existing.lines().any(|l| l.trim() == line) {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let mut out = existing;
+    if out.is_empty() {
+        out.push_str(
+            "# Seeds for failure cases found by the vendored proptest runner.\n\
+             # Each line is `cc <hex seed> <test name>`; they re-run first on\n\
+             # every test execution. Do not delete entries that still pass —\n\
+             # they are the regression corpus.\n",
+        );
+    }
+    out.push_str(&line);
+    out.push('\n');
+    let _ = fs::write(&path, out);
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_RNG_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property test: regression seeds first, then `config.cases`
+/// fresh cases. Failures persist their seed and panic with the recorded
+/// inputs.
+pub fn run_test(
+    config: &Config,
+    source_file: &str,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let regressions = load_regression_seeds(source_file, test_name);
+    // PROPTEST_CASES overrides the in-source case count, as in the real crate.
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let mut state = base_seed(test_name);
+    let fresh: Vec<u64> = (0..cases).map(|_| splitmix64(&mut state)).collect();
+
+    for (i, seed) in regressions.iter().chain(fresh.iter()).enumerate() {
+        let mut rng = TestRng::new(*seed);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        let msg = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(e)) => e.to_string(),
+            Err(payload) => {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    format!("panic: {s}")
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    format!("panic: {s}")
+                } else {
+                    "panic: <non-string payload>".to_string()
+                }
+            }
+        };
+        let from_corpus = i < regressions.len();
+        if !from_corpus {
+            persist_failure(source_file, test_name, *seed);
+        }
+        panic!(
+            "{test_name}: case {i}{} failed (seed {seed:#018x}):\n{msg}\ninputs:\n  {}",
+            if from_corpus { " [regression corpus]" } else { "" },
+            rng.inputs.join("\n  "),
+        );
+    }
+}
