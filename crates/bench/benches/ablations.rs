@@ -1,9 +1,12 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! extraction algorithm (greedy vs branch-and-bound), rule sets
-//! (FMA-only vs COMM/ASSOC-only vs full Table I), and cost-model
-//! sensitivity (memory cost 10/100/1000).
+//! (FMA-only vs COMM/ASSOC-only vs full Table I), cost-model
+//! sensitivity (memory cost 10/100/1000), and the e-matching engine
+//! (compiled VM with/without the backoff scheduler vs legacy tree-walk).
 
-use accsat_egraph::{all_rules, assoc_rules, comm_rules, fma_rules, Runner, RunnerLimits};
+use accsat_egraph::{
+    all_rules, assoc_rules, comm_rules, fma_rules, MatchEngine, Runner, RunnerLimits,
+};
 use accsat_extract::{extract_exact, extract_greedy, CostModel};
 use accsat_ir::parse_program;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -77,5 +80,41 @@ fn ablation_cost_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation_extract, ablation_rules, ablation_cost_model);
+fn ablation_match_engine(c: &mut Criterion) {
+    // engine × scheduler: the compiled VM with and without backoff, and the
+    // legacy matcher, each saturating the NPB-BT z_solve kernel shape
+    let bt = accsat_benchmarks::npb_benchmarks().remove(0);
+    let prog = parse_program(&bt.acc_source).unwrap();
+    let f = &prog.functions[0];
+    let body = accsat_ir::innermost_parallel_loops(f)[0].body.clone();
+    let limits = RunnerLimits { iter_limit: 4, ..Default::default() };
+    let mut group = c.benchmark_group("ablation_match_engine");
+    group.sample_size(10);
+    let cases: [(&str, MatchEngine, bool); 3] = [
+        ("compiled_backoff", MatchEngine::Compiled, true),
+        ("compiled_no_backoff", MatchEngine::Compiled, false),
+        ("legacy", MatchEngine::Legacy, true),
+    ];
+    for (name, engine, backoff) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut k = accsat_ssa::build_kernel(&body);
+                let mut runner = Runner::new(all_rules()).with_limits(limits).with_engine(engine);
+                if !backoff {
+                    runner = runner.with_backoff(None);
+                }
+                runner.run(&mut k.egraph)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_extract,
+    ablation_rules,
+    ablation_cost_model,
+    ablation_match_engine
+);
 criterion_main!(benches);

@@ -1,8 +1,11 @@
 //! Criterion benches of the ACC Saturator pipeline itself — the §VII cost
 //! numbers (SSA+codegen ms per kernel, saturation time) measured on every
-//! benchmark kernel, one group per evaluation table.
+//! benchmark kernel, one group per evaluation table — plus the saturation
+//! throughput of the compiled e-matching engine against the legacy
+//! tree-walk matcher on the NPB-BT z_solve shape.
 
 use accsat::{optimize_program, Variant};
+use accsat_egraph::{MatchEngine, RunnerLimits};
 use accsat_ir::parse_program;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -31,9 +34,7 @@ fn bench_phases(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("phases_bt_zsolve");
     group.sample_size(10);
-    group.bench_function("ssa_build", |b| {
-        b.iter(|| accsat_ssa::build_kernel(&body))
-    });
+    group.bench_function("ssa_build", |b| b.iter(|| accsat_ssa::build_kernel(&body)));
     group.bench_function("saturation", |b| {
         b.iter(|| {
             let mut k = accsat_ssa::build_kernel(&body);
@@ -45,10 +46,45 @@ fn bench_phases(c: &mut Criterion) {
         accsat_egraph::Runner::new(accsat_egraph::all_rules()).run(&mut k.egraph);
         let roots = k.extraction_roots();
         let cm = accsat_extract::CostModel::paper();
-        b.iter(|| accsat_extract::extract(&k.egraph, &roots, &cm, std::time::Duration::from_millis(500)))
+        b.iter(|| {
+            accsat_extract::extract(&k.egraph, &roots, &cm, std::time::Duration::from_millis(500))
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_phases);
+fn bench_matcher_engines(c: &mut Criterion) {
+    // saturation throughput: compiled pattern VM (+ op index, dirty-class
+    // search, dedup) vs the seed's interpretive tree-walk, on the NPB-BT
+    // z_solve shape. Both run the same fixed iteration budget; divide the
+    // reported medians by the iteration count for the per-iteration cost
+    // recorded in EXPERIMENTS.md (acceptance target: compiled ≥ 2× faster).
+    let bt = accsat_benchmarks::npb_benchmarks().remove(0);
+    let prog = parse_program(&bt.acc_source).unwrap();
+    let f = &prog.functions[0];
+    let body = accsat_ir::innermost_parallel_loops(f)[0].body.clone();
+    let limits = RunnerLimits { iter_limit: 4, ..Default::default() };
+
+    let kernel = accsat_ssa::build_kernel(&body);
+
+    let mut group = c.benchmark_group("saturation_engine_bt_zsolve");
+    group.sample_size(10);
+    for (name, engine) in [("compiled", MatchEngine::Compiled), ("legacy", MatchEngine::Legacy)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // clone the pre-built e-graph so only saturation is timed
+                let mut eg = kernel.egraph.clone();
+                let report = accsat_egraph::Runner::new(accsat_egraph::all_rules())
+                    .with_limits(limits)
+                    .with_engine(engine)
+                    .run(&mut eg);
+                assert!(!report.iterations.is_empty());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_phases, bench_matcher_engines);
 criterion_main!(benches);

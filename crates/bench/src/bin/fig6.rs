@@ -7,6 +7,12 @@ use accsat_ir::Model;
 fn main() {
     let dev = Device::a100_sxm4_80gb();
     let benches = accsat_benchmarks::spec_benchmarks();
-    print_speedup_figure("Figure 6: SPEC ACCEL (OpenACC, SXM4)", &benches, Model::OpenAcc, &dev, "");
+    print_speedup_figure(
+        "Figure 6: SPEC ACCEL (OpenACC, SXM4)",
+        &benches,
+        Model::OpenAcc,
+        &dev,
+        "",
+    );
     print_speedup_figure("Figure 6: SPEC ACCEL (OpenMP, SXM4)", &benches, Model::OpenMp, &dev, "p");
 }

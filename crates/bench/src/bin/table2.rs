@@ -30,9 +30,6 @@ fn main() {
     println!("Table II: NAS Parallel Benchmarks (simulated original times)");
     println!(
         "{}",
-        accsat::render_table(
-            &["Name", "Compute", "Access", "Num. Kernels", "NVHPC", "GCC"],
-            &rows
-        )
+        accsat::render_table(&["Name", "Compute", "Access", "Num. Kernels", "NVHPC", "GCC"], &rows)
     );
 }

@@ -78,10 +78,7 @@ pub fn print_speedup_figure(
                         "{}",
                         accsat::format_speedup_row(
                             &name,
-                            &row.speedups
-                                .iter()
-                                .map(|(l, s)| (*l, *s))
-                                .collect::<Vec<_>>()
+                            &row.speedups.iter().map(|(l, s)| (*l, *s)).collect::<Vec<_>>()
                         )
                     );
                     for (i, (label, s)) in row.speedups.iter().enumerate() {

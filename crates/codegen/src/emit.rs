@@ -19,12 +19,7 @@ pub struct CodegenOptions {
 }
 
 /// Generate a new kernel body from the SSA tree and the extracted selection.
-pub fn generate(
-    kernel: &SsaKernel,
-    sel: &Selection,
-    tm: &TypeMap,
-    opts: &CodegenOptions,
-) -> Block {
+pub fn generate(kernel: &SsaKernel, sel: &Selection, tm: &TypeMap, opts: &CodegenOptions) -> Block {
     let analysis = Analysis::run(kernel, sel);
     let mut em = Emitter {
         eg: &kernel.egraph,
@@ -207,13 +202,7 @@ impl<'a> AnalysisBuilder<'a> {
     }
 
     /// Record a reference edge to `class` from a use at (path, item).
-    fn reference(
-        &mut self,
-        class: Id,
-        path: &BlockPath,
-        item: usize,
-        visited: &mut HashSet<Id>,
-    ) {
+    fn reference(&mut self, class: Id, path: &BlockPath, item: usize, visited: &mut HashSet<Id>) {
         let class = self.eg.find(class);
         *self.use_count.entry(class).or_insert(0) += 1;
         self.use_sites.entry(class).or_default().push((path.clone(), item));
@@ -300,8 +289,8 @@ impl<'a> Emitter<'a> {
         let node = self.sel.node(self.eg, class).clone();
         let expr = self.node_expr(&node, out);
         // scheduled temps and loads/calls always land in temporaries
-        let force_temp = self.temp_lca.contains_key(&class)
-            || matches!(node.op, Op::Load | Op::Call(_));
+        let force_temp =
+            self.temp_lca.contains_key(&class) || matches!(node.op, Op::Load | Op::Call(_));
         if force_temp {
             let name = self.fresh_temp();
             let ty = self.class_type(class);
@@ -325,17 +314,15 @@ impl<'a> Emitter<'a> {
             Op::LoopCond(l) => {
                 panic!("loop condition {l} must never be materialized")
             }
-            Op::PhiLoop => panic!(
-                "loop φ must be available as a variable; it cannot be recomputed"
-            ),
+            Op::PhiLoop => {
+                panic!("loop φ must be available as a variable; it cannot be recomputed")
+            }
             Op::Load => {
                 let state = self.eg.find(node.children[0]);
                 let array = self
                     .state_names
                     .get(&state)
-                    .unwrap_or_else(|| {
-                        panic!("load of a non-current array state {state}")
-                    })
+                    .unwrap_or_else(|| panic!("load of a non-current array state {state}"))
                     .clone();
                 debug_assert_eq!(
                     self.current_state.get(&array).copied(),
@@ -494,9 +481,8 @@ impl<'a> Emitter<'a> {
             ready.sort_by_key(|&c| self.load_sort_key(c));
             due.extend(ready);
             // also sort the due loads themselves so the bulk region is tidy
-            let (mut loads, others): (Vec<Id>, Vec<Id>) = due
-                .into_iter()
-                .partition(|&c| self.sel.node(self.eg, c).op == Op::Load);
+            let (mut loads, others): (Vec<Id>, Vec<Id>) =
+                due.into_iter().partition(|&c| self.sel.node(self.eg, c).op == Op::Load);
             loads.sort_by_key(|&c| self.load_sort_key(c));
             due = others.into_iter().chain(loads).collect();
         }
@@ -674,11 +660,7 @@ impl<'a> Emitter<'a> {
             // the assignment would write the same class back (no-op)
             let name = self.fresh_temp();
             let ty = self.class_type(class);
-            out.push(Stmt::Decl {
-                ty,
-                name: name.clone(),
-                init: Some(Expr::Var(var)),
-            });
+            out.push(Stmt::Decl { ty, name: name.clone(), init: Some(Expr::Var(var)) });
             self.avail.insert(class, Expr::Var(name));
             self.volatile_var.remove(&class);
         }

@@ -3,7 +3,11 @@
 
 use crate::nest::analyze_nest;
 use crate::vn::eliminate_redundant_loads;
-use accsat_gpusim::{lower_body, trace::{fuse_fma, schedule_loads}, LaunchConfig, LowerCtx, Trace};
+use accsat_gpusim::{
+    lower_body,
+    trace::{fuse_fma, schedule_loads},
+    LaunchConfig, LowerCtx, Trace,
+};
 use accsat_ir::{DirectiveKind, Function, Model};
 use std::collections::HashMap;
 
@@ -107,8 +111,8 @@ pub fn compile_kernel(
         .ok_or_else(|| format!("function `{}` has no directive loop", f.name))?;
 
     let head_kind = nest.levels.first().and_then(|l| l.kind);
-    let gcc_kernels = cm.compiler == Compiler::Gcc
-        && head_kind == Some(DirectiveKind::AccKernelsLoop);
+    let gcc_kernels =
+        cm.compiler == Compiler::Gcc && head_kind == Some(DirectiveKind::AccKernelsLoop);
 
     // --- launch geometry ------------------------------------------------
     let (vector_len, workers) = if gcc_kernels {

@@ -154,20 +154,12 @@ pub fn analyze_nest(f: &Function, bindings: &HashMap<String, i64>) -> Option<Loo
             None => break,
         }
     }
-    Some(LoopNest {
-        body: cur.body.clone(),
-        vector_var: cur.var.clone(),
-        levels,
-        seq_mult,
-    })
+    Some(LoopNest { body: cur.body.clone(), vector_var: cur.var.clone(), levels, seq_mult })
 }
 
 /// Find the next directive loop below `b`, multiplying the trip counts of
 /// intervening sequential loops.
-fn next_level<'a>(
-    b: &'a Block,
-    bindings: &HashMap<String, i64>,
-) -> Option<(f64, &'a ForLoop)> {
+fn next_level<'a>(b: &'a Block, bindings: &HashMap<String, i64>) -> Option<(f64, &'a ForLoop)> {
     for s in &b.stmts {
         match s {
             Stmt::For(l) if l.directive.is_some() => return Some((1.0, l)),

@@ -11,7 +11,8 @@ use std::collections::HashMap;
 /// windows model GCC/Clang. Register uses of removed loads are rewritten to
 /// the surviving destination.
 pub fn eliminate_redundant_loads(trace: &Trace, window: usize) -> Trace {
-    let mut seen: HashMap<u64, (usize, u32, u64)> = HashMap::new(); // key → (pos, reg, base)
+    // remembered loads: address key → (pos, reg, base)
+    let mut seen: HashMap<u64, (usize, u32, u64)> = HashMap::new();
     // arithmetic value numbering: (flop kind, operand regs) → (pos, reg)
     let mut flops: HashMap<(u8, Vec<u32>), (usize, u32)> = HashMap::new();
     let mut rename: HashMap<u32, u32> = HashMap::new();
@@ -106,10 +107,7 @@ mod tests {
 
     #[test]
     fn duplicate_load_removed_and_renamed() {
-        let trace = t(
-            vec![load(7, 1, 0), flop(vec![0], 1), load(7, 1, 2), flop(vec![2], 3)],
-            4,
-        );
+        let trace = t(vec![load(7, 1, 0), flop(vec![0], 1), load(7, 1, 2), flop(vec![2], 3)], 4);
         let opt = eliminate_redundant_loads(&trace, usize::MAX);
         let (_, _, _, loads, _) = opt.op_counts();
         assert_eq!(loads, 1);

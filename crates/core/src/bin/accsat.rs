@@ -17,9 +17,7 @@ use accsat_ir::{parse_program, print_program};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: accsat [--variant cse|cse+sat|cse+bulk|accsat] [--stats] [-o OUT.c] INPUT.c"
-    );
+    eprintln!("usage: accsat [--variant cse|cse+sat|cse+bulk|accsat] [--stats] [-o OUT.c] INPUT.c");
     ExitCode::from(2)
 }
 

@@ -118,8 +118,7 @@ mod tests {
         // "ACCSAT does not degrade the original performance" (§VIII)
         let dev = Device::a100_pcie_40gb();
         for bench in accsat_benchmarks::npb_benchmarks() {
-            let orig =
-                evaluate_benchmark(&bench, Variant::Original, &nvhpc_acc(), &dev).unwrap();
+            let orig = evaluate_benchmark(&bench, Variant::Original, &nvhpc_acc(), &dev).unwrap();
             let acc = evaluate_benchmark(&bench, Variant::AccSat, &nvhpc_acc(), &dev).unwrap();
             let s = speedup(&orig, &acc);
             assert!(s > 0.85, "{}: ACCSAT speedup {s} degrades too much", bench.name);

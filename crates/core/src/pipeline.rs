@@ -2,7 +2,7 @@
 //! code generation, per innermost parallel loop.
 
 use accsat_codegen::{generate, CodegenOptions, TypeMap};
-use accsat_egraph::{all_rules, Runner, RunnerLimits, StopReason};
+use accsat_egraph::{all_rules, RuleStats, Runner, RunnerLimits, StopReason};
 use accsat_extract::{extract, CostModel};
 use accsat_ir::{Block, Function, Program, Stmt};
 use std::time::{Duration, Instant};
@@ -87,6 +87,9 @@ pub struct OptStats {
     pub saturation_iters: usize,
     /// Why saturation stopped.
     pub stop_reason: Option<StopReason>,
+    /// Per-rule match/apply/ban statistics from the saturation runner
+    /// (empty for variants that do not saturate).
+    pub rule_stats: Vec<RuleStats>,
     /// Total extracted DAG cost under the paper cost model.
     pub extracted_cost: u64,
 }
@@ -119,8 +122,7 @@ fn optimize_block(
         match s {
             Stmt::For(l) => {
                 if l.directive.is_some() && !accsat_ir::has_directive_loop(&l.body) {
-                    let (new_body, st) =
-                        optimize_kernel_body(&l.body, variant, config, tm, fname)?;
+                    let (new_body, st) = optimize_kernel_body(&l.body, variant, config, tm, fname)?;
                     l.body = new_body;
                     stats.push(st);
                 } else {
@@ -160,13 +162,13 @@ pub fn optimize_kernel_body(
 
     // 2. equality saturation (step ②)
     let t1 = Instant::now();
-    let (iters, stop) = if variant.saturates() {
+    let (iters, stop, rule_stats) = if variant.saturates() {
         let runner = Runner::new(all_rules()).with_limits(config.limits);
         let report = runner.run(&mut kernel.egraph);
-        (report.iterations.len(), Some(report.stop_reason))
+        (report.iterations.len(), Some(report.stop_reason), report.rule_stats)
     } else {
         kernel.egraph.rebuild();
-        (0, None)
+        (0, None, Vec::new())
     };
     let sat_time = t1.elapsed();
 
@@ -194,6 +196,7 @@ pub fn optimize_kernel_body(
             egraph_nodes: kernel.egraph.total_nodes(),
             saturation_iters: iters,
             stop_reason: stop,
+            rule_stats,
             extracted_cost: cost,
         },
     ))
@@ -258,6 +261,23 @@ void k(double a[32], double out[32], double c) {
         assert!(s.egraph_nodes > 10);
         assert!(s.extracted_cost > 0);
         assert!(s.stop_reason.is_some());
+        assert!(!s.rule_stats.is_empty(), "saturating variants report per-rule stats");
+        assert!(s.rule_stats.iter().any(|r| r.matches > 0));
+    }
+
+    #[test]
+    fn non_saturating_variants_have_no_rule_stats() {
+        let src = r#"
+void k(double a[8], double out[8]) {
+  #pragma acc parallel loop gang vector
+  for (int i = 0; i < 8; i++) {
+    out[i] = a[i] + a[i];
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let (_, stats) = optimize_program(&prog, Variant::Cse).unwrap();
+        assert!(stats.iter().all(|s| s.rule_stats.is_empty()));
     }
 
     #[test]

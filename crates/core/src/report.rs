@@ -63,10 +63,7 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["Name", "Time"],
-            &[
-                vec!["BT".into(), "14.85s".into()],
-                vec!["CG".into(), "1.27s".into()],
-            ],
+            &[vec!["BT".into(), "14.85s".into()], vec!["CG".into(), "1.27s".into()]],
         );
         assert!(t.contains("| Name | Time   |"));
         assert!(t.contains("| BT   | 14.85s |"));

@@ -194,9 +194,7 @@ mod tests {
     fn binary_int_folding() {
         let table = |op: Op, want: i64| {
             let n = Node::new(op, vec![Id::from(0), Id::from(1)]);
-            let v = eval_node(&n, |id| {
-                Some(ConstValue::Int(if id.index() == 0 { 6 } else { 3 }))
-            });
+            let v = eval_node(&n, |id| Some(ConstValue::Int(if id.index() == 0 { 6 } else { 3 })));
             assert_eq!(v, Some(ConstValue::Int(want)));
         };
         table(Op::Add, 9);
@@ -220,9 +218,7 @@ mod tests {
     #[test]
     fn division_by_zero_int_does_not_fold() {
         let n = Node::new(Op::Div, vec![Id::from(0), Id::from(1)]);
-        let v = eval_node(&n, |id| {
-            Some(ConstValue::Int(if id.index() == 0 { 1 } else { 0 }))
-        });
+        let v = eval_node(&n, |id| Some(ConstValue::Int(if id.index() == 0 { 1 } else { 0 })));
         assert_eq!(v, None);
     }
 
@@ -263,14 +259,8 @@ mod tests {
 
     #[test]
     fn merge_prefers_known() {
-        assert_eq!(
-            merge_const(None, Some(ConstValue::Int(4))),
-            Some(ConstValue::Int(4))
-        );
-        assert_eq!(
-            merge_const(Some(ConstValue::Int(4)), None),
-            Some(ConstValue::Int(4))
-        );
+        assert_eq!(merge_const(None, Some(ConstValue::Int(4))), Some(ConstValue::Int(4)));
+        assert_eq!(merge_const(Some(ConstValue::Int(4)), None), Some(ConstValue::Int(4)));
         assert_eq!(merge_const(None, None), None);
     }
 }

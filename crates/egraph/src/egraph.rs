@@ -2,9 +2,9 @@
 //! congruence restoration (the "rebuilding" algorithm of egg).
 
 use crate::analysis::{eval_node, merge_const, ConstValue};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::node::{Id, Node, Op};
 use crate::unionfind::UnionFind;
-use std::collections::HashMap;
 
 /// An e-class: a set of equal e-nodes plus analysis data and parent
 /// back-references used by congruence restoration.
@@ -24,11 +24,20 @@ pub struct EClass {
 pub struct EGraph {
     unionfind: UnionFind,
     /// Canonical-node → class memo (hash-consing).
-    memo: HashMap<Node, Id>,
+    memo: FxHashMap<Node, Id>,
     /// Class storage, indexed by canonical id; `None` after being merged away.
     classes: Vec<Option<EClass>>,
     /// Classes whose parents must be reprocessed by `rebuild`.
     dirty: Vec<Id>,
+    /// Operator → classes containing an e-node with that head operator.
+    /// Maintained incrementally by `add`; entries may go stale after unions
+    /// (resolved through `find` on query) and are compacted by `rebuild`.
+    op_index: FxHashMap<Op, Vec<Id>>,
+    /// Classes touched since the last [`EGraph::take_search_dirty`]: newly
+    /// created, target of a union, or given a materialized constant leaf.
+    /// The saturation runner uses this (closed over parents) to re-search
+    /// only the part of the graph that can hold new matches.
+    search_dirty: Vec<Id>,
     /// Total number of e-nodes ever added (the paper's 10 000-node budget is
     /// measured against this).
     num_nodes: usize,
@@ -82,15 +91,68 @@ impl EGraph {
 
     /// Iterate over `(canonical id, class)` pairs.
     pub fn classes(&self) -> impl Iterator<Item = (Id, &EClass)> {
-        self.classes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.as_ref().map(|c| (Id::from(i), c)))
+        self.classes.iter().enumerate().filter_map(|(i, c)| c.as_ref().map(|c| (Id::from(i), c)))
     }
 
     /// The constant value of a class, if the analysis proved one.
     pub fn constant(&self, id: Id) -> Option<ConstValue> {
         self.class(id).constant
+    }
+
+    /// Canonical ids of the live classes containing an e-node whose head
+    /// operator is `op` — the compiled matcher's candidate lookup. Stale
+    /// index entries are resolved through `find` and deduplicated.
+    pub fn classes_with_op(&self, op: &Op) -> Vec<Id> {
+        let Some(ids) = self.op_index.get(op) else {
+            return Vec::new();
+        };
+        let mut seen = FxHashSet::default();
+        seen.reserve(ids.len());
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let id = self.find(id);
+            if self.classes[id.index()].is_some() && seen.insert(id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Take the set of classes touched since the previous call, closed
+    /// transitively over parent classes: any class that could root a *new*
+    /// pattern match (new e-node, union changing a non-linear equality, or
+    /// a match reaching a changed class through any chain of children) is in
+    /// the returned set. Ids are canonical; dead classes are dropped.
+    pub fn take_search_dirty(&mut self) -> FxHashSet<Id> {
+        let raw = std::mem::take(&mut self.search_dirty);
+        let mut set = FxHashSet::default();
+        set.reserve(raw.len());
+        let mut stack: Vec<Id> = Vec::with_capacity(raw.len());
+        for id in raw {
+            let id = self.find(id);
+            if self.classes[id.index()].is_some() {
+                stack.push(id);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            if !set.insert(id) {
+                continue;
+            }
+            let class = self.classes[id.index()].as_ref().expect("live class");
+            for &(_, parent) in &class.parents {
+                let parent = self.find(parent);
+                if self.classes[parent.index()].is_some() && !set.contains(&parent) {
+                    stack.push(parent);
+                }
+            }
+        }
+        set
+    }
+
+    /// Discard accumulated search-dirty marks (used before a full search,
+    /// which covers everything anyway).
+    pub fn clear_search_dirty(&mut self) {
+        self.search_dirty.clear();
     }
 
     fn canonicalize(&mut self, node: &Node) -> Node {
@@ -109,24 +171,26 @@ impl EGraph {
     }
 
     /// Add a node, returning its e-class (existing or fresh).
-    pub fn add(&mut self, node: Node) -> Id {
-        let node = self.canonicalize(&node);
+    pub fn add(&mut self, mut node: Node) -> Id {
+        // canonicalize in place — `add` owns the node, no clone needed
+        for c in &mut node.children {
+            *c = self.unionfind.find_mut(*c);
+        }
         if let Some(&id) = self.memo.get(&node) {
             return self.unionfind.find_mut(id);
         }
         let id = self.unionfind.make_set();
         debug_assert_eq!(id.index(), self.classes.len());
-        let constant = if self.fold_constants {
-            eval_node(&node, |c| self.constant(c))
-        } else {
-            None
-        };
+        let constant =
+            if self.fold_constants { eval_node(&node, |c| self.constant(c)) } else { None };
         self.classes.push(Some(EClass {
             nodes: vec![node.clone()],
             parents: Vec::new(),
             constant,
         }));
         self.num_nodes += 1;
+        self.op_index.entry(node.op.clone()).or_default().push(id);
+        self.search_dirty.push(id);
         for &child in &node.children {
             let child = self.unionfind.find_mut(child);
             self.classes[child.index()]
@@ -155,8 +219,10 @@ impl EGraph {
         } else {
             let cls = self.unionfind.find_mut(id);
             self.memo.insert(leaf.clone(), cls);
+            self.op_index.entry(leaf.op.clone()).or_default().push(cls);
             self.classes[cls.index()].as_mut().unwrap().nodes.push(leaf);
             self.num_nodes += 1;
+            self.search_dirty.push(cls);
         }
     }
 
@@ -192,6 +258,7 @@ impl EGraph {
         let new_constant_appeared = merged.is_some() && to_class.constant.is_none();
         to_class.constant = merged;
         self.dirty.push(to);
+        self.search_dirty.push(to);
         if new_constant_appeared {
             if let Some(c) = merged {
                 self.add_constant_leaf(to, c);
@@ -250,47 +317,99 @@ impl EGraph {
             }
         }
         debug_assert!(self.dirty.is_empty());
+        self.compact_op_index();
+    }
+
+    /// Drop dead / stale entries from the op → class index so lookup cost
+    /// stays proportional to the live graph. Run once per rebuild.
+    fn compact_op_index(&mut self) {
+        for ids in self.op_index.values_mut() {
+            let mut seen = FxHashSet::default();
+            seen.reserve(ids.len());
+            let mut out = Vec::with_capacity(ids.len());
+            for &id in ids.iter() {
+                let id = self.unionfind.find(id);
+                if self.classes[id.index()].is_some() && seen.insert(id) {
+                    out.push(id);
+                }
+            }
+            *ids = out;
+        }
     }
 
     fn process_dirty(&mut self) {
-        while let Some(dirty_id) = self.dirty.pop() {
-            let id = self.unionfind.find_mut(dirty_id);
-            if self.classes[id.index()].is_none() {
-                continue;
+        while !self.dirty.is_empty() {
+            // drain the worklist in deduplicated batches: a class unioned
+            // several times since the last pass is repaired once, not once
+            // per union (its parents list would be reprocessed in full each
+            // time otherwise)
+            let raw = std::mem::take(&mut self.dirty);
+            let mut batch_seen = FxHashSet::default();
+            batch_seen.reserve(raw.len());
+            for dirty_id in raw {
+                let id = self.unionfind.find_mut(dirty_id);
+                if batch_seen.insert(id) {
+                    self.repair(id);
+                }
             }
+            if self.dirty.is_empty() {
+                // analysis propagation: unions may have given children
+                // constant data that now folds their parents (egg's
+                // analysis worklist, run to fixpoint)
+                self.propagate_constants();
+            }
+        }
+    }
+
+    /// Re-canonicalize one dirty class's parents, restoring hash-cons and
+    /// congruence invariants for them (the egg `repair`).
+    fn repair(&mut self, id: Id) {
+        let id = self.unionfind.find_mut(id);
+        if self.classes[id.index()].is_none() {
+            return;
+        }
+        {
             let parents = std::mem::take(
                 &mut self.classes[id.index()].as_mut().expect("dirty class").parents,
             );
-            let mut seen: HashMap<Node, Id> = HashMap::with_capacity(parents.len());
+            // canon form → index into `new_parents`: congruent parents are
+            // merged, and duplicate entries (the same parent reached through
+            // several merged children) collapse to one — parents lists stay
+            // proportional to distinct parent nodes instead of growing with
+            // every union that touches the class.
+            let mut seen: FxHashMap<Node, usize> = FxHashMap::default();
+            seen.reserve(parents.len());
             let mut new_parents: Vec<(Node, Id)> = Vec::with_capacity(parents.len());
             for (node, parent_id) in parents {
                 // remove the stale memo entry, re-canonicalize, re-insert
                 self.memo.remove(&node);
                 let canon = self.canonicalize(&node);
-                let parent_id = self.unionfind.find_mut(parent_id);
-                if let Some(&other) = seen.get(&canon) {
-                    // congruence: two parents became identical
-                    let (merged, _) = self.union(parent_id, other);
-                    seen.insert(canon.clone(), merged);
+                let mut parent_id = self.unionfind.find_mut(parent_id);
+                if let Some(&ix) = seen.get(&canon) {
+                    // congruence (or duplicate entry): same canonical form
+                    let prev = self.unionfind.find_mut(new_parents[ix].1);
+                    if prev != parent_id {
+                        let (merged, _) = self.union(prev, parent_id);
+                        parent_id = merged;
+                    }
+                    new_parents[ix].1 = parent_id;
+                    self.memo.insert(canon, parent_id);
                 } else {
-                    seen.insert(canon.clone(), parent_id);
-                }
-                let parent_id = self.unionfind.find_mut(parent_id);
-                match self.memo.get(&canon) {
-                    Some(&existing) => {
-                        let existing = self.unionfind.find_mut(existing);
-                        if existing != parent_id {
-                            let (merged, _) = self.union(existing, parent_id);
-                            self.memo.insert(canon.clone(), merged);
-                            new_parents.push((canon, merged));
-                        } else {
-                            new_parents.push((canon, existing));
+                    match self.memo.get(&canon) {
+                        Some(&existing) => {
+                            let existing = self.unionfind.find_mut(existing);
+                            if existing != parent_id {
+                                let (merged, _) = self.union(existing, parent_id);
+                                parent_id = merged;
+                            }
+                            self.memo.insert(canon.clone(), parent_id);
+                        }
+                        None => {
+                            self.memo.insert(canon.clone(), parent_id);
                         }
                     }
-                    None => {
-                        self.memo.insert(canon.clone(), parent_id);
-                        new_parents.push((canon, parent_id));
-                    }
+                    seen.insert(canon.clone(), new_parents.len());
+                    new_parents.push((canon, parent_id));
                 }
             }
             let id = self.unionfind.find_mut(id);
@@ -300,21 +419,17 @@ impl EGraph {
             // refresh stored nodes to canonical form and dedupe
             let id2 = id;
             let nodes = std::mem::take(&mut self.classes[id2.index()].as_mut().unwrap().nodes);
+            let mut node_set: FxHashSet<Node> = FxHashSet::default();
+            node_set.reserve(nodes.len());
             let mut canon_nodes: Vec<Node> = Vec::with_capacity(nodes.len());
             for n in nodes {
                 let c = self.canonicalize(&n);
-                if !canon_nodes.contains(&c) {
+                if node_set.insert(c.clone()) {
                     canon_nodes.push(c);
                 }
             }
             if let Some(cls) = self.classes[id2.index()].as_mut() {
                 cls.nodes = canon_nodes;
-            }
-            if self.dirty.is_empty() {
-                // analysis propagation: unions may have given children
-                // constant data that now folds their parents (egg's
-                // analysis worklist, run to fixpoint)
-                self.propagate_constants();
             }
         }
     }
@@ -328,29 +443,32 @@ impl EGraph {
         }
         let mut changed = true;
         while changed {
-            changed = false;
-            let ids: Vec<Id> = self.classes().map(|(id, _)| id).collect();
-            for id in ids {
-                let id = self.unionfind.find_mut(id);
-                let class = match self.classes[id.index()].as_ref() {
-                    Some(c) if c.constant.is_none() => c,
-                    _ => continue,
-                };
-                let nodes = class.nodes.clone();
-                let mut proven = None;
-                for n in &nodes {
-                    let canon = n.canonicalized(|c| self.unionfind.find(c));
-                    if let Some(v) = eval_node(&canon, |c| self.constant(c)) {
-                        proven = Some(v);
+            // phase 1: scan immutably — no node clones; `constant()`
+            // resolves children through `find`, so the stored (possibly
+            // stale-child) node forms evaluate correctly as they are
+            let mut proven: Vec<(Id, ConstValue)> = Vec::new();
+            for (id, class) in self.classes() {
+                if class.constant.is_some() {
+                    continue;
+                }
+                for n in &class.nodes {
+                    if let Some(v) = eval_node(n, |c| self.constant(c)) {
+                        proven.push((id, v));
                         break;
                     }
                 }
-                if let Some(v) = proven {
-                    if let Some(cls) = self.classes[id.index()].as_mut() {
+            }
+            // phase 2: record the new constants and materialize leaves
+            // (which may union and re-dirty — handled by the enclosing
+            // rebuild loop)
+            changed = !proven.is_empty();
+            for (id, v) in proven {
+                let id = self.unionfind.find_mut(id);
+                if let Some(cls) = self.classes[id.index()].as_mut() {
+                    if cls.constant.is_none() {
                         cls.constant = Some(v);
+                        self.add_constant_leaf(id, v);
                     }
-                    self.add_constant_leaf(id, v);
-                    changed = true;
                 }
             }
         }
@@ -372,10 +490,17 @@ impl EGraph {
         for (node, &id) in &self.memo {
             let canon = node.canonicalized(|c| self.find(c));
             assert_eq!(&canon, node, "memo key must be canonical: {node}");
-            assert!(
-                self.classes[self.find(id).index()].is_some(),
-                "memo value {id} must be live"
-            );
+            assert!(self.classes[self.find(id).index()].is_some(), "memo value {id} must be live");
+        }
+        // the op index must cover every live e-node's head operator
+        for (id, class) in self.classes() {
+            for node in &class.nodes {
+                assert!(
+                    self.classes_with_op(&node.op).contains(&id),
+                    "op index must list {id} under {:?}",
+                    node.op
+                );
+            }
         }
     }
 
@@ -569,6 +694,45 @@ mod tests {
         eg.check_invariants();
         let relooked = eg.lookup(&Node::new(Op::Mul, vec![a2, b2])).expect("congruent node");
         assert!(eg.same(m, relooked));
+    }
+
+    #[test]
+    fn op_index_tracks_adds_and_unions() {
+        let mut eg = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let m1 = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let m2 = eg.add(Node::new(Op::Mul, vec![b, a]));
+        let s = eg.add(Node::new(Op::Add, vec![a, b]));
+        assert_eq!(eg.classes_with_op(&Op::Mul).len(), 2);
+        assert_eq!(eg.classes_with_op(&Op::Add), vec![s]);
+        assert!(eg.classes_with_op(&Op::Div).is_empty());
+        // merging the two Mul classes collapses the index entry
+        eg.union(m1, m2);
+        eg.rebuild();
+        assert_eq!(eg.classes_with_op(&Op::Mul).len(), 1);
+        assert_eq!(eg.classes_with_op(&Op::Mul)[0], eg.find(m1));
+    }
+
+    #[test]
+    fn search_dirty_closes_over_parents() {
+        let mut eg = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let m = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let root = eg.add(Node::new(Op::Add, vec![m, a]));
+        // drain construction-time marks
+        let initial = eg.take_search_dirty();
+        assert!(initial.contains(&eg.find(root)));
+        assert!(eg.take_search_dirty().is_empty());
+        // a union deep in the graph must dirty every ancestor
+        let c = leaf(&mut eg, "c");
+        eg.union(a, c);
+        eg.rebuild();
+        let dirty = eg.take_search_dirty();
+        assert!(dirty.contains(&eg.find(a)));
+        assert!(dirty.contains(&eg.find(m)), "parent of merged class is dirty");
+        assert!(dirty.contains(&eg.find(root)), "grandparent is dirty");
     }
 
     #[test]

@@ -13,14 +13,22 @@
 //!   congruence restoration ([`EGraph::rebuild`], the egg "rebuilding"
 //!   algorithm) and an attached constant-folding analysis.
 //! * [`Pattern`] — s-expression rewrite patterns with `?x` variables and a
-//!   backtracking e-matcher.
+//!   backtracking e-matcher (kept as the differential-testing oracle).
+//! * [`machine`] — the production matcher: patterns compiled once into
+//!   linear [`Program`]s for a register-based pattern VM, with interned
+//!   `u32` variables and small-vec substitutions ([`VarSubst`]), driven
+//!   through an operator → e-class index.
 //! * [`Rewrite`] / [`Runner`] — rule application until saturation or limits,
-//!   mirroring the paper's bounds (10 000 e-nodes, 10 iterations, 10 s).
+//!   mirroring the paper's bounds (10 000 e-nodes, 10 iterations, 10 s),
+//!   with per-rule statistics and a backoff scheduler benching rules whose
+//!   match counts explode.
 //! * [`rules`] — Table I of the paper: FMA introduction, commutativity,
 //!   associativity, plus constant folding.
 
 pub mod analysis;
 pub mod egraph;
+pub mod fxhash;
+pub mod machine;
 pub mod node;
 pub mod pattern;
 pub mod rewrite;
@@ -30,9 +38,14 @@ pub mod unionfind;
 
 pub use analysis::ConstValue;
 pub use egraph::{EClass, EGraph};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use machine::{Inst, Program, RhsNode, VarSubst};
 pub use node::{Id, Node, Op};
 pub use pattern::{parse_pattern, Pattern, PatternNode, Subst};
-pub use rewrite::Rewrite;
+pub use rewrite::{Rewrite, RuleMatch};
 pub use rules::{all_rules, assoc_rules, comm_rules, fma_rules, reorder_rules, rule_by_name};
-pub use runner::{Runner, RunnerLimits, RunnerReport, StopReason};
+pub use runner::{
+    BackoffConfig, IterationStats, MatchEngine, RuleStats, Runner, RunnerLimits, RunnerReport,
+    StopReason,
+};
 pub use unionfind::UnionFind;

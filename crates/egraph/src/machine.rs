@@ -1,0 +1,458 @@
+//! The compiled e-matching engine: patterns compiled once into linear
+//! instruction programs executed against registers of e-class ids.
+//!
+//! The interpretive matcher in [`crate::pattern`] walks the pattern tree for
+//! every candidate e-node and clones a `HashMap<String, Id>` per partial
+//! match. This module is the production path: [`Program::compile`] turns a
+//! [`Pattern`] into a flat sequence of [`Inst`]ructions over a register
+//! file, pattern variables are interned to `u32` indices into a per-pattern
+//! var table, and substitutions are [`VarSubst`] — a small-vec of ids
+//! indexed by variable, allocated only when a complete match is yielded.
+//! Backtracking happens by re-entering the instruction at the choice point
+//! (a `Bind` over a class's e-nodes), never by cloning bindings.
+//!
+//! The legacy tree-walk matcher is kept as the differential-testing oracle
+//! (`tests/property_matcher.rs` proves the two produce identical
+//! substitution sets on random e-graphs and patterns).
+
+use crate::egraph::EGraph;
+use crate::fxhash::FxHashSet;
+use crate::node::{Id, Node, Op};
+use crate::pattern::{Pattern, PatternNode};
+
+/// Interned pattern-variable index into a program's var table.
+pub type VarId = u32;
+
+/// A virtual register holding an e-class id during execution.
+pub type Reg = u32;
+
+/// How many variable bindings a [`VarSubst`] stores inline before spilling
+/// to the heap. Every Table I pattern has at most three variables.
+const SUBST_INLINE: usize = 4;
+
+/// A substitution produced by the compiled matcher: variable index →
+/// e-class id, stored small-vec-style (inline up to [`SUBST_INLINE`]).
+#[derive(Debug, Clone)]
+pub enum VarSubst {
+    Inline { len: u8, buf: [Id; SUBST_INLINE] },
+    Heap(Vec<Id>),
+}
+
+impl VarSubst {
+    /// Build a substitution from the yielded register values.
+    pub fn from_slice(vals: &[Id]) -> VarSubst {
+        if vals.len() <= SUBST_INLINE {
+            let mut buf = [Id::from(0usize); SUBST_INLINE];
+            buf[..vals.len()].copy_from_slice(vals);
+            VarSubst::Inline { len: vals.len() as u8, buf }
+        } else {
+            VarSubst::Heap(vals.to_vec())
+        }
+    }
+
+    /// Gather the bindings out of the register file without an intermediate
+    /// allocation (the VM's yield path).
+    fn from_regs(subst_regs: &[Reg], regs: &[Id]) -> VarSubst {
+        if subst_regs.len() <= SUBST_INLINE {
+            let mut buf = [Id::from(0usize); SUBST_INLINE];
+            for (i, &r) in subst_regs.iter().enumerate() {
+                buf[i] = regs[r as usize];
+            }
+            VarSubst::Inline { len: subst_regs.len() as u8, buf }
+        } else {
+            VarSubst::Heap(subst_regs.iter().map(|&r| regs[r as usize]).collect())
+        }
+    }
+
+    /// The bound ids, indexed by [`VarId`].
+    pub fn as_slice(&self) -> &[Id] {
+        match self {
+            VarSubst::Inline { len, buf } => &buf[..*len as usize],
+            VarSubst::Heap(v) => v,
+        }
+    }
+
+    /// Binding of variable `v`.
+    pub fn get(&self, v: VarId) -> Id {
+        self.as_slice()[v as usize]
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the pattern binds no variables (ground pattern).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy with every id replaced by its canonical representative.
+    pub fn canonicalized(&self, eg: &EGraph) -> VarSubst {
+        let mut s = self.clone();
+        match &mut s {
+            VarSubst::Inline { len, buf } => {
+                for id in &mut buf[..*len as usize] {
+                    *id = eg.find(*id);
+                }
+            }
+            VarSubst::Heap(v) => {
+                for id in v {
+                    *id = eg.find(*id);
+                }
+            }
+        }
+        s
+    }
+}
+
+impl PartialEq for VarSubst {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for VarSubst {}
+
+impl std::hash::Hash for VarSubst {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for VarSubst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VarSubst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+/// One instruction of a compiled pattern program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// Enumerate the e-nodes of the class in `reg` whose operator is `op`
+    /// with `arity` children; for each, write the (canonical) children into
+    /// registers `out .. out + arity` and continue. This is the backtracking
+    /// choice point.
+    Bind { reg: Reg, op: Op, arity: u32, out: Reg },
+    /// Require the classes in registers `a` and `b` to be equal (a repeated
+    /// — non-linear — pattern variable).
+    Compare { a: Reg, b: Reg },
+}
+
+/// A pattern compiled to a linear program plus its variable table.
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<Inst>,
+    /// Variable index → register holding its binding at yield time.
+    subst_regs: Vec<Reg>,
+    /// Interned variable names, indexed by [`VarId`].
+    vars: Vec<String>,
+    /// Total registers used.
+    n_regs: u32,
+    /// Head operator of the pattern root (`None` when the root is a bare
+    /// variable, which matches every class).
+    root_op: Option<Op>,
+}
+
+impl Program {
+    /// Compile a pattern. Registers are assigned in pattern pre-order:
+    /// register 0 is the root class, a `Bind` writes its children into a
+    /// fresh contiguous block.
+    pub fn compile(pattern: &Pattern) -> Program {
+        let mut prog = Program {
+            insts: Vec::new(),
+            subst_regs: Vec::new(),
+            vars: Vec::new(),
+            n_regs: 1,
+            root_op: match &pattern.root {
+                PatternNode::Apply { op, .. } => Some(op.clone()),
+                PatternNode::Var(_) => None,
+            },
+        };
+        prog.compile_node(&pattern.root, 0);
+        prog
+    }
+
+    fn compile_node(&mut self, node: &PatternNode, reg: Reg) {
+        match node {
+            PatternNode::Var(name) => {
+                match self.vars.iter().position(|v| v == name) {
+                    // repeated variable: emit an equality check
+                    Some(i) => self.insts.push(Inst::Compare { a: self.subst_regs[i], b: reg }),
+                    None => {
+                        self.vars.push(name.clone());
+                        self.subst_regs.push(reg);
+                    }
+                }
+            }
+            PatternNode::Apply { op, children } => {
+                let out = self.n_regs;
+                self.n_regs += children.len() as u32;
+                self.insts.push(Inst::Bind {
+                    reg,
+                    op: op.clone(),
+                    arity: children.len() as u32,
+                    out,
+                });
+                for (i, child) in children.iter().enumerate() {
+                    self.compile_node(child, out + i as u32);
+                }
+            }
+        }
+    }
+
+    /// Interned variable names, indexed by [`VarId`].
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Variable index of `name`, if the pattern binds it.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|v| v == name).map(|i| i as VarId)
+    }
+
+    /// Head operator of the pattern root (`None` = variable root).
+    pub fn root_op(&self) -> Option<&Op> {
+        self.root_op.as_ref()
+    }
+
+    /// The compiled instructions (stats / debugging).
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Run the program against one e-class, appending a [`VarSubst`] per
+    /// complete match.
+    pub fn search_class(&self, eg: &EGraph, root: Id, out: &mut Vec<VarSubst>) {
+        let mut regs = vec![Id::from(0usize); self.n_regs as usize];
+        self.search_class_scratch(eg, root, &mut regs, out);
+    }
+
+    /// `search_class` with a caller-provided register file, so a whole-graph
+    /// search reuses one allocation across every candidate class.
+    fn search_class_scratch(
+        &self,
+        eg: &EGraph,
+        root: Id,
+        regs: &mut [Id],
+        out: &mut Vec<VarSubst>,
+    ) {
+        regs[0] = eg.find(root);
+        self.step(eg, 0, regs, &mut |regs| {
+            out.push(VarSubst::from_regs(&self.subst_regs, regs));
+        });
+    }
+
+    fn step(&self, eg: &EGraph, pc: usize, regs: &mut [Id], yield_fn: &mut impl FnMut(&[Id])) {
+        let Some(inst) = self.insts.get(pc) else {
+            yield_fn(regs);
+            return;
+        };
+        match inst {
+            Inst::Compare { a, b } => {
+                if eg.find(regs[*a as usize]) == eg.find(regs[*b as usize]) {
+                    self.step(eg, pc + 1, regs, yield_fn);
+                }
+            }
+            Inst::Bind { reg, op, arity, out } => {
+                let class = eg.class(regs[*reg as usize]);
+                for node in &class.nodes {
+                    if &node.op != op || node.children.len() != *arity as usize {
+                        continue;
+                    }
+                    for (i, &c) in node.children.iter().enumerate() {
+                        regs[*out as usize + i] = eg.find(c);
+                    }
+                    self.step(eg, pc + 1, regs, yield_fn);
+                }
+            }
+        }
+    }
+
+    /// Search the whole e-graph through the op → e-class index: only
+    /// classes whose node set contains the root operator are visited.
+    pub fn search(&self, eg: &EGraph) -> Vec<(Id, VarSubst)> {
+        let mut results = Vec::new();
+        self.search_filtered(eg, None, &mut results);
+        results
+    }
+
+    /// Search, optionally restricted to a candidate class set (canonical
+    /// ids) — the runner's incremental dirty-class search.
+    pub fn search_filtered(
+        &self,
+        eg: &EGraph,
+        restrict: Option<&FxHashSet<Id>>,
+        results: &mut Vec<(Id, VarSubst)>,
+    ) {
+        let mut substs = Vec::new();
+        let mut regs = vec![Id::from(0usize); self.n_regs as usize];
+        let mut visit = |id: Id, substs: &mut Vec<VarSubst>, regs: &mut [Id]| {
+            if let Some(set) = restrict {
+                if !set.contains(&id) {
+                    return;
+                }
+            }
+            self.search_class_scratch(eg, id, regs, substs);
+            results.extend(substs.drain(..).map(|s| (id, s)));
+        };
+        match &self.root_op {
+            Some(op) => {
+                for id in eg.classes_with_op(op) {
+                    visit(id, &mut substs, &mut regs);
+                }
+            }
+            None => {
+                for (id, _) in eg.classes() {
+                    visit(id, &mut substs, &mut regs);
+                }
+            }
+        }
+    }
+}
+
+/// A right-hand-side template with variables resolved to [`VarId`]s at rule
+/// construction, so instantiation never does a string lookup.
+#[derive(Debug, Clone)]
+pub enum RhsNode {
+    Var(VarId),
+    Apply { op: Op, children: Vec<RhsNode> },
+}
+
+impl RhsNode {
+    /// Resolve a pattern's variables against `lhs`'s var table. Panics on
+    /// unbound variables — rules are compile-time constants of the tool.
+    pub fn compile(rhs: &PatternNode, lhs: &Program, rule: &str) -> RhsNode {
+        match rhs {
+            PatternNode::Var(v) => RhsNode::Var(
+                lhs.var_id(v)
+                    .unwrap_or_else(|| panic!("rule {rule}: rhs variable ?{v} not bound by lhs")),
+            ),
+            PatternNode::Apply { op, children } => RhsNode::Apply {
+                op: op.clone(),
+                children: children.iter().map(|c| RhsNode::compile(c, lhs, rule)).collect(),
+            },
+        }
+    }
+
+    /// Instantiate under `subst`, adding nodes to the e-graph. Returns the
+    /// root class of the instantiated term.
+    pub fn instantiate(&self, eg: &mut EGraph, subst: &VarSubst) -> Id {
+        match self {
+            RhsNode::Var(v) => subst.get(*v),
+            RhsNode::Apply { op, children } => {
+                let kids: Vec<Id> = children.iter().map(|c| c.instantiate(eg, subst)).collect();
+                eg.add(Node::new(op.clone(), kids))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::parse_pattern;
+
+    fn compile(src: &str) -> Program {
+        Program::compile(&parse_pattern(src).unwrap())
+    }
+
+    #[test]
+    fn compiles_fma_pattern() {
+        let p = compile("(+ ?a (* ?b ?c))");
+        assert_eq!(p.vars(), &["a", "b", "c"]);
+        assert_eq!(p.root_op(), Some(&Op::Add));
+        // two Binds: one for the +, one for the nested *
+        let binds = p.insts().iter().filter(|i| matches!(i, Inst::Bind { .. })).count();
+        assert_eq!(binds, 2);
+    }
+
+    #[test]
+    fn nonlinear_pattern_emits_compare() {
+        let p = compile("(+ ?x ?x)");
+        assert_eq!(p.vars(), &["x"]);
+        assert!(p.insts().iter().any(|i| matches!(i, Inst::Compare { .. })));
+    }
+
+    #[test]
+    fn vm_matches_simple_term() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let c = eg.add(Node::sym("c"));
+        let bc = eg.add(Node::new(Op::Mul, vec![b, c]));
+        let root = eg.add(Node::new(Op::Add, vec![a, bc]));
+        let p = compile("(+ ?x (* ?y ?z))");
+        let mut out = Vec::new();
+        p.search_class(&eg, root, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0), eg.find(a));
+        assert_eq!(out[0].get(1), eg.find(b));
+        assert_eq!(out[0].get(2), eg.find(c));
+    }
+
+    #[test]
+    fn vm_nonlinear_requires_equality() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let ab = eg.add(Node::new(Op::Add, vec![a, b]));
+        let aa = eg.add(Node::new(Op::Add, vec![a, a]));
+        let p = compile("(+ ?x ?x)");
+        let mut out = Vec::new();
+        p.search_class(&eg, ab, &mut out);
+        assert!(out.is_empty(), "a+b must not match (+ ?x ?x)");
+        p.search_class(&eg, aa, &mut out);
+        assert_eq!(out.len(), 1);
+        // after union(a, b) the non-linear match appears
+        eg.union(a, b);
+        eg.rebuild();
+        out.clear();
+        p.search_class(&eg, ab, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn vm_search_uses_op_index() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let _m = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let _s = eg.add(Node::new(Op::Add, vec![a, b]));
+        let p = compile("(* ?x ?y)");
+        let found = p.search(&eg);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn var_subst_inline_and_heap() {
+        let ids: Vec<Id> = (0..6).map(Id::from).collect();
+        let small = VarSubst::from_slice(&ids[..3]);
+        let big = VarSubst::from_slice(&ids);
+        assert!(matches!(small, VarSubst::Inline { .. }));
+        assert!(matches!(big, VarSubst::Heap(_)));
+        assert_eq!(small.as_slice(), &ids[..3]);
+        assert_eq!(big.as_slice(), &ids[..]);
+        assert_eq!(small, VarSubst::from_slice(&ids[..3]));
+    }
+
+    #[test]
+    fn rhs_template_instantiates() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let c = eg.add(Node::sym("c"));
+        let lhs = compile("(+ ?a (* ?b ?c))");
+        let rhs = parse_pattern("(fma ?a ?b ?c)").unwrap();
+        let template = RhsNode::compile(&rhs.root, &lhs, "fma1");
+        let subst = VarSubst::from_slice(&[a, b, c]);
+        let id = template.instantiate(&mut eg, &subst);
+        assert_eq!(eg.term_string(id), "(fma a b c)");
+    }
+}

@@ -223,10 +223,7 @@ impl Node {
 
     /// Return a copy with children mapped through `find` (canonicalization).
     pub fn canonicalized(&self, mut find: impl FnMut(Id) -> Id) -> Node {
-        Node {
-            op: self.op.clone(),
-            children: self.children.iter().map(|&c| find(c)).collect(),
-        }
+        Node { op: self.op.clone(), children: self.children.iter().map(|&c| find(c)).collect() }
     }
 }
 

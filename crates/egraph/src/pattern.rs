@@ -72,9 +72,9 @@ impl Pattern {
     pub fn instantiate(&self, eg: &mut EGraph, subst: &Subst) -> Id {
         fn go(eg: &mut EGraph, p: &PatternNode, subst: &Subst) -> Id {
             match p {
-                PatternNode::Var(v) => *subst
-                    .get(v)
-                    .unwrap_or_else(|| panic!("unbound pattern variable ?{v}")),
+                PatternNode::Var(v) => {
+                    *subst.get(v).unwrap_or_else(|| panic!("unbound pattern variable ?{v}"))
+                }
                 PatternNode::Apply { op, children } => {
                     let kids: Vec<Id> = children.iter().map(|c| go(eg, c, subst)).collect();
                     eg.add(Node::new(op.clone(), kids))
@@ -85,13 +85,7 @@ impl Pattern {
     }
 }
 
-fn match_node(
-    eg: &EGraph,
-    pattern: &PatternNode,
-    id: Id,
-    subst: &mut Subst,
-    out: &mut Vec<Subst>,
-) {
+fn match_node(eg: &EGraph, pattern: &PatternNode, id: Id, subst: &mut Subst, out: &mut Vec<Subst>) {
     match pattern {
         PatternNode::Var(v) => {
             let id = eg.find(id);

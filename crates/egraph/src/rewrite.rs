@@ -1,20 +1,43 @@
 //! Rewrite rules: a named left-hand pattern, right-hand pattern, and an
 //! optional side condition on the matched substitution.
+//!
+//! Rules are compiled once at construction: the left-hand side becomes a
+//! [`Program`] for the pattern VM (see [`crate::machine`]), the right-hand
+//! side an index-resolved [`RhsNode`] template, so the saturation hot loop
+//! never touches pattern variable names. The interpretive tree-walk matcher
+//! ([`Pattern::search`]) remains available as `search_legacy` — it is the
+//! differential-testing oracle for the compiled engine.
 
 use crate::egraph::EGraph;
+use crate::fxhash::FxHashSet;
+use crate::machine::{Program, RhsNode, VarSubst};
 use crate::node::Id;
 use crate::pattern::{parse_pattern, Pattern, Subst};
 
-/// Side condition evaluated on every match before application.
+/// Side condition evaluated on every match before application. Receives the
+/// substitution as a name → id map (the legacy form) — conditions are rare,
+/// so the map is materialized only when one is attached.
 pub type Condition = fn(&EGraph, &Subst) -> bool;
 
-/// A rewrite rule `lhs → rhs`.
+/// One match of a rule's left-hand side: the root e-class and the variable
+/// bindings (indexed by the rule's var table).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RuleMatch {
+    pub class: Id,
+    pub subst: VarSubst,
+}
+
+/// A rewrite rule `lhs → rhs`, with both sides compiled.
 #[derive(Clone)]
 pub struct Rewrite {
     pub name: String,
     pub lhs: Pattern,
     pub rhs: Pattern,
     pub condition: Option<Condition>,
+    /// Compiled left-hand side (pattern VM program + interned vars).
+    program: Program,
+    /// Compiled right-hand side (variables resolved to var-table indices).
+    rhs_template: RhsNode,
 }
 
 impl std::fmt::Debug for Rewrite {
@@ -27,20 +50,23 @@ impl std::fmt::Debug for Rewrite {
 }
 
 impl Rewrite {
-    /// Build a rule from pattern strings. Panics on malformed patterns —
-    /// rules are compile-time constants of the tool.
+    /// Build a rule from pattern strings, compiling both sides. Panics on
+    /// malformed patterns — rules are compile-time constants of the tool.
     pub fn new(name: &str, lhs: &str, rhs: &str) -> Rewrite {
         let lhs_p = parse_pattern(lhs).unwrap_or_else(|e| panic!("rule {name}: bad lhs: {e}"));
         let rhs_p = parse_pattern(rhs).unwrap_or_else(|e| panic!("rule {name}: bad rhs: {e}"));
-        // every rhs variable must be bound by the lhs
-        let lhs_vars = lhs_p.vars();
-        for v in rhs_p.vars() {
-            assert!(
-                lhs_vars.contains(&v),
-                "rule {name}: rhs variable ?{v} not bound by lhs"
-            );
+        let program = Program::compile(&lhs_p);
+        // every rhs variable must be bound by the lhs (RhsNode::compile
+        // panics with a per-variable message otherwise)
+        let rhs_template = RhsNode::compile(&rhs_p.root, &program, name);
+        Rewrite {
+            name: name.to_string(),
+            lhs: lhs_p,
+            rhs: rhs_p,
+            condition: None,
+            program,
+            rhs_template,
         }
-        Rewrite { name: name.to_string(), lhs: lhs_p, rhs: rhs_p, condition: None }
     }
 
     /// Attach a side condition.
@@ -49,8 +75,49 @@ impl Rewrite {
         self
     }
 
-    /// Search the whole e-graph for matches of `lhs`.
-    pub fn search(&self, eg: &EGraph) -> Vec<(Id, Subst)> {
+    /// Interned variable names of the left-hand side.
+    pub fn vars(&self) -> &[String] {
+        self.program.vars()
+    }
+
+    /// The compiled left-hand-side program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Materialize a name → id map from a compiled substitution (side
+    /// conditions, tests, debugging).
+    pub fn subst_map(&self, subst: &VarSubst) -> Subst {
+        self.program
+            .vars()
+            .iter()
+            .zip(subst.as_slice())
+            .map(|(name, &id)| (name.clone(), id))
+            .collect()
+    }
+
+    /// Search the e-graph for matches of `lhs` with the compiled VM,
+    /// restricted to candidate classes when `restrict` is given (the
+    /// runner's dirty-class search).
+    pub fn search_filtered(&self, eg: &EGraph, restrict: Option<&FxHashSet<Id>>) -> Vec<RuleMatch> {
+        let mut raw = Vec::new();
+        self.program.search_filtered(eg, restrict, &mut raw);
+        let mut matches: Vec<RuleMatch> =
+            raw.into_iter().map(|(class, subst)| RuleMatch { class, subst }).collect();
+        if let Some(cond) = self.condition {
+            matches.retain(|m| cond(eg, &self.subst_map(&m.subst)));
+        }
+        matches
+    }
+
+    /// Search the whole e-graph for matches of `lhs` (compiled engine).
+    pub fn search(&self, eg: &EGraph) -> Vec<RuleMatch> {
+        self.search_filtered(eg, None)
+    }
+
+    /// Search with the legacy backtracking tree-walk matcher — the oracle
+    /// the compiled engine is differentially tested against.
+    pub fn search_legacy(&self, eg: &EGraph) -> Vec<(Id, Subst)> {
         let mut matches = self.lhs.search(eg);
         if let Some(cond) = self.condition {
             matches.retain(|(_, s)| cond(eg, s));
@@ -60,7 +127,13 @@ impl Rewrite {
 
     /// Apply one match: instantiate `rhs` and union with the matched class.
     /// Returns `true` if the e-graph changed.
-    pub fn apply_match(&self, eg: &mut EGraph, class: Id, subst: &Subst) -> bool {
+    pub fn apply_match(&self, eg: &mut EGraph, class: Id, subst: &VarSubst) -> bool {
+        let new_id = self.rhs_template.instantiate(eg, subst);
+        eg.union(class, new_id).1
+    }
+
+    /// Apply one legacy-form match (name-keyed substitution).
+    pub fn apply_match_legacy(&self, eg: &mut EGraph, class: Id, subst: &Subst) -> bool {
         let new_id = self.rhs.instantiate(eg, subst);
         eg.union(class, new_id).1
     }
@@ -81,8 +154,8 @@ mod tests {
         assert!(!eg.same(ab, ba));
 
         let rule = Rewrite::new("comm-add", "(+ ?a ?b)", "(+ ?b ?a)");
-        for (class, subst) in rule.search(&eg) {
-            rule.apply_match(&mut eg, class, &subst);
+        for m in rule.search(&eg) {
+            rule.apply_match(&mut eg, m.class, &m.subst);
         }
         eg.rebuild();
         assert!(eg.same(ab, ba));
@@ -100,8 +173,12 @@ mod tests {
         let rule = Rewrite::new("fma1", "(+ ?a (* ?b ?c))", "(fma ?a ?b ?c)");
         let matches = rule.search(&eg);
         assert_eq!(matches.len(), 1);
-        for (class, subst) in matches {
-            rule.apply_match(&mut eg, class, &subst);
+        let map = rule.subst_map(&matches[0].subst);
+        assert_eq!(map["a"], eg.find(a));
+        assert_eq!(map["b"], eg.find(b));
+        assert_eq!(map["c"], eg.find(c));
+        for m in matches {
+            rule.apply_match(&mut eg, m.class, &m.subst);
         }
         eg.rebuild();
         // the sum's class must now contain an Fma node
@@ -119,6 +196,41 @@ mod tests {
         let _ab = eg.add(Node::new(Op::Add, vec![a, b]));
         let rule = Rewrite::new("nope", "(+ ?a ?b)", "(+ ?b ?a)").with_condition(never);
         assert!(rule.search(&eg).is_empty());
+        assert!(rule.search_legacy(&eg).is_empty());
+    }
+
+    #[test]
+    fn compiled_and_legacy_agree_on_small_graph() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let c = eg.add(Node::sym("c"));
+        let bc = eg.add(Node::new(Op::Mul, vec![b, c]));
+        let _s1 = eg.add(Node::new(Op::Add, vec![a, bc]));
+        let _s2 = eg.add(Node::new(Op::Add, vec![bc, a]));
+        for rule in crate::rules::all_rules() {
+            let mut compiled: Vec<(Id, Vec<(String, Id)>)> = rule
+                .search(&eg)
+                .iter()
+                .map(|m| {
+                    let mut s: Vec<_> = rule.subst_map(&m.subst).into_iter().collect();
+                    s.sort();
+                    (eg.find(m.class), s)
+                })
+                .collect();
+            let mut legacy: Vec<(Id, Vec<(String, Id)>)> = rule
+                .search_legacy(&eg)
+                .into_iter()
+                .map(|(class, s)| {
+                    let mut s: Vec<_> = s.into_iter().collect();
+                    s.sort();
+                    (eg.find(class), s)
+                })
+                .collect();
+            compiled.sort();
+            legacy.sort();
+            assert_eq!(compiled, legacy, "rule {}", rule.name);
+        }
     }
 
     #[test]

@@ -71,10 +71,7 @@ pub fn reorder_rules() -> Vec<Rewrite> {
 
 /// Look up a default rule by name (tests, examples, custom rule sets).
 pub fn rule_by_name(name: &str) -> Option<Rewrite> {
-    all_rules()
-        .into_iter()
-        .chain(reorder_rules())
-        .find(|r| r.name == name)
+    all_rules().into_iter().chain(reorder_rules()).find(|r| r.name == name)
 }
 
 #[cfg(test)]

@@ -1,8 +1,20 @@
 //! The saturation runner: applies a rule set until saturation or until the
 //! paper's limits are hit (10 000 e-nodes, 10 iterations, 10 seconds).
+//!
+//! The default engine is the compiled pattern VM ([`crate::machine`]) with
+//! operator-indexed candidate lookup, incremental dirty-class search after
+//! the first iteration, per-rule match/apply statistics, and a backoff
+//! scheduler that temporarily benches rules whose match counts explode
+//! (commutativity/associativity on large graphs). The seed's interpretive
+//! tree-walk engine remains available as [`MatchEngine::Legacy`] — it is
+//! the differential-testing oracle and the baseline for the saturation
+//! throughput bench.
 
 use crate::egraph::EGraph;
-use crate::rewrite::Rewrite;
+use crate::fxhash::FxHashSet;
+use crate::machine::VarSubst;
+use crate::node::Id;
+use crate::rewrite::{Rewrite, RuleMatch};
 use std::time::{Duration, Instant};
 
 /// Why the runner stopped.
@@ -28,20 +40,60 @@ pub struct RunnerLimits {
 
 impl Default for RunnerLimits {
     fn default() -> RunnerLimits {
-        RunnerLimits {
-            node_limit: 10_000,
-            iter_limit: 10,
-            time_limit: Duration::from_secs(10),
-        }
+        RunnerLimits { node_limit: 10_000, iter_limit: 10, time_limit: Duration::from_secs(10) }
+    }
+}
+
+/// Which e-matching engine the runner drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchEngine {
+    /// Compiled pattern VM + op index + dirty-class search (default).
+    Compiled,
+    /// The seed's interpretive backtracking tree-walk over every class,
+    /// every iteration. Kept as oracle and benchmark baseline.
+    Legacy,
+}
+
+/// Backoff-scheduler configuration: a rule matching more than
+/// `match_limit` substitutions in one iteration is banned for `ban_length`
+/// iterations; each subsequent ban doubles both numbers (as in egg's
+/// `BackoffScheduler`).
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffConfig {
+    pub match_limit: usize,
+    pub ban_length: usize,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> BackoffConfig {
+        BackoffConfig { match_limit: 1000, ban_length: 5 }
     }
 }
 
 /// Per-iteration statistics.
 #[derive(Debug, Clone, Default)]
 pub struct IterationStats {
+    /// Substitutions found by the search phase (before dedup).
+    pub matches: usize,
+    /// Rule applications that changed the e-graph (deduplicated,
+    /// canonicalized — each counted union is real work).
     pub applied: usize,
     pub total_nodes: usize,
     pub num_classes: usize,
+}
+
+/// Cumulative per-rule statistics over a saturation run.
+#[derive(Debug, Clone, Default)]
+pub struct RuleStats {
+    pub name: String,
+    /// Substitutions yielded by search.
+    pub matches: usize,
+    /// Applications that changed the e-graph.
+    pub applied: usize,
+    /// How many times the backoff scheduler banned the rule.
+    pub times_banned: usize,
+    /// Iterations spent banned.
+    pub banned_iters: usize,
 }
 
 /// Result of a saturation run.
@@ -49,6 +101,7 @@ pub struct IterationStats {
 pub struct RunnerReport {
     pub stop_reason: StopReason,
     pub iterations: Vec<IterationStats>,
+    pub rule_stats: Vec<RuleStats>,
     pub elapsed: Duration,
 }
 
@@ -57,18 +110,72 @@ impl RunnerReport {
     pub fn total_applied(&self) -> usize {
         self.iterations.iter().map(|i| i.applied).sum()
     }
+
+    /// Total number of substitutions found across all iterations.
+    pub fn total_matches(&self) -> usize {
+        self.iterations.iter().map(|i| i.matches).sum()
+    }
+}
+
+/// Classes a benched rule still owes a search over, accumulated while the
+/// ban is active and consumed (together with the current dirty set) when it
+/// lifts.
+#[derive(Debug, Clone, Default)]
+enum Pending {
+    /// Nothing deferred.
+    #[default]
+    Empty,
+    /// These classes must be re-searched.
+    Classes(FxHashSet<Id>),
+    /// A whole-graph search is owed.
+    Full,
+}
+
+impl Pending {
+    fn merge_dirty(&mut self, dirty: Option<&FxHashSet<Id>>) {
+        match (std::mem::take(self), dirty) {
+            (_, None) | (Pending::Full, _) => *self = Pending::Full,
+            (Pending::Empty, Some(d)) => {
+                if !d.is_empty() {
+                    *self = Pending::Classes(d.clone());
+                }
+            }
+            (Pending::Classes(mut p), Some(d)) => {
+                p.extend(d.iter().copied());
+                *self = Pending::Classes(p);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct RuleState {
+    /// First iteration index at which the rule may run again.
+    banned_until: usize,
+    times_banned: usize,
+    pending: Pending,
 }
 
 /// The equality-saturation runner.
 pub struct Runner {
     pub limits: RunnerLimits,
     pub rules: Vec<Rewrite>,
+    pub engine: MatchEngine,
+    /// `None` disables the backoff scheduler (every rule runs every
+    /// iteration, as in the seed).
+    pub backoff: Option<BackoffConfig>,
 }
 
 impl Runner {
-    /// New runner with the given rules and default (paper) limits.
+    /// New runner with the given rules, default (paper) limits, the
+    /// compiled engine and the default backoff scheduler.
     pub fn new(rules: Vec<Rewrite>) -> Runner {
-        Runner { limits: RunnerLimits::default(), rules }
+        Runner {
+            limits: RunnerLimits::default(),
+            rules,
+            engine: MatchEngine::Compiled,
+            backoff: Some(BackoffConfig::default()),
+        }
     }
 
     /// Override the limits.
@@ -77,10 +184,155 @@ impl Runner {
         self
     }
 
+    /// Select the matching engine.
+    pub fn with_engine(mut self, engine: MatchEngine) -> Runner {
+        self.engine = engine;
+        self
+    }
+
+    /// Override (or disable, with `None`) the backoff scheduler.
+    pub fn with_backoff(mut self, backoff: Option<BackoffConfig>) -> Runner {
+        self.backoff = backoff;
+        self
+    }
+
     /// Run saturation on `eg` until a stop condition is reached.
     pub fn run(&self, eg: &mut EGraph) -> RunnerReport {
+        match self.engine {
+            MatchEngine::Compiled => self.run_compiled(eg),
+            MatchEngine::Legacy => self.run_legacy(eg),
+        }
+    }
+
+    fn run_compiled(&self, eg: &mut EGraph) -> RunnerReport {
         let start = Instant::now();
         let mut iterations = Vec::new();
+        let mut rule_stats: Vec<RuleStats> = self
+            .rules
+            .iter()
+            .map(|r| RuleStats { name: r.name.clone(), ..Default::default() })
+            .collect();
+        let mut states: Vec<RuleState> = vec![RuleState::default(); self.rules.len()];
+        // (rule, root, subst) triples already applied, persisted across
+        // iterations: re-finding an identical canonical match later (the
+        // dirty-class search re-yields every match in a touched class, and
+        // commutative rules report one instantiation from several e-nodes)
+        // is a guaranteed no-op union, so it is skipped before the apply
+        // phase rather than re-instantiated.
+        let mut seen: FxHashSet<(usize, Id, VarSubst)> = FxHashSet::default();
+
+        let stop_reason = loop {
+            let it = iterations.len();
+            if it >= self.limits.iter_limit {
+                break StopReason::IterLimit;
+            }
+            if start.elapsed() >= self.limits.time_limit {
+                break StopReason::TimeLimit;
+            }
+            if eg.total_nodes() >= self.limits.node_limit {
+                break StopReason::NodeLimit;
+            }
+
+            // 1. search. The first iteration scans every op-index candidate;
+            // later iterations re-search only classes touched since the
+            // previous rebuild (closed over parents), plus whatever benched
+            // rules still owe.
+            let dirty: Option<FxHashSet<Id>> = if it == 0 {
+                eg.clear_search_dirty();
+                None
+            } else {
+                Some(eg.take_search_dirty())
+            };
+            let mut all_matches: Vec<(usize, RuleMatch)> = Vec::new();
+            let mut found = 0usize;
+            for (ri, rule) in self.rules.iter().enumerate() {
+                if states[ri].banned_until > it {
+                    rule_stats[ri].banned_iters += 1;
+                    states[ri].pending.merge_dirty(dirty.as_ref());
+                    continue;
+                }
+                let owned: Option<FxHashSet<Id>>;
+                let restrict: Option<&FxHashSet<Id>> =
+                    match (std::mem::take(&mut states[ri].pending), dirty.as_ref()) {
+                        (Pending::Full, _) | (_, None) => None,
+                        (Pending::Empty, Some(d)) => Some(d),
+                        (Pending::Classes(mut p), Some(d)) => {
+                            p.extend(d.iter().copied());
+                            owned = Some(p);
+                            owned.as_ref()
+                        }
+                    };
+                let matches = rule.search_filtered(eg, restrict);
+                found += matches.len();
+                rule_stats[ri].matches += matches.len();
+                if let Some(cfg) = self.backoff {
+                    let shift = states[ri].times_banned.min(16) as u32;
+                    if matches.len() > cfg.match_limit << shift {
+                        // bench the rule and queue the searched classes for
+                        // re-search when the ban lifts
+                        states[ri].banned_until = it + 1 + (cfg.ban_length << shift);
+                        states[ri].times_banned += 1;
+                        rule_stats[ri].times_banned += 1;
+                        states[ri].pending = match restrict {
+                            None => Pending::Full,
+                            Some(set) => Pending::Classes(set.clone()),
+                        };
+                        continue;
+                    }
+                }
+                all_matches.extend(matches.into_iter().map(|m| (ri, m)));
+                if start.elapsed() >= self.limits.time_limit {
+                    break;
+                }
+            }
+
+            // 2. apply every distinct match, then restore congruence once.
+            // Match roots and substitutions are canonical as of the search
+            // (the VM canonicalizes while matching), so the dedup key needs
+            // no extra `find` calls; `apply_match` canonicalizes internally
+            // and `applied` counts only unions that changed the graph.
+            let mut applied = 0usize;
+            for (ri, m) in all_matches {
+                if eg.total_nodes() >= self.limits.node_limit {
+                    break;
+                }
+                if !seen.insert((ri, m.class, m.subst.clone())) {
+                    continue;
+                }
+                if self.rules[ri].apply_match(eg, m.class, &m.subst) {
+                    applied += 1;
+                    rule_stats[ri].applied += 1;
+                }
+            }
+            eg.rebuild();
+
+            iterations.push(IterationStats {
+                matches: found,
+                applied,
+                total_nodes: eg.total_nodes(),
+                num_classes: eg.num_classes(),
+            });
+
+            // saturated only when nothing changed AND no benched rule still
+            // owes a deferred search
+            let owes = states.iter().any(|s| !matches!(s.pending, Pending::Empty));
+            if applied == 0 && !owes {
+                break StopReason::Saturated;
+            }
+        };
+        RunnerReport { stop_reason, iterations, rule_stats, elapsed: start.elapsed() }
+    }
+
+    /// The seed's loop, verbatim: interpretive full-graph search each
+    /// iteration, no scheduling, no dedup.
+    fn run_legacy(&self, eg: &mut EGraph) -> RunnerReport {
+        let start = Instant::now();
+        let mut iterations = Vec::new();
+        let mut rule_stats: Vec<RuleStats> = self
+            .rules
+            .iter()
+            .map(|r| RuleStats { name: r.name.clone(), ..Default::default() })
+            .collect();
         let stop_reason = loop {
             if iterations.len() >= self.limits.iter_limit {
                 break StopReason::IterLimit;
@@ -91,17 +343,21 @@ impl Runner {
             if eg.total_nodes() >= self.limits.node_limit {
                 break StopReason::NodeLimit;
             }
+            eg.clear_search_dirty();
 
             // 1. search all rules against the current (frozen) e-graph
             let mut all_matches = Vec::new();
             for (ri, rule) in self.rules.iter().enumerate() {
-                for (class, subst) in rule.search(eg) {
+                let matches = rule.search_legacy(eg);
+                rule_stats[ri].matches += matches.len();
+                for (class, subst) in matches {
                     all_matches.push((ri, class, subst));
                 }
                 if start.elapsed() >= self.limits.time_limit {
                     break;
                 }
             }
+            let found = all_matches.len();
 
             // 2. apply every match, then restore congruence once
             let mut applied = 0usize;
@@ -109,13 +365,15 @@ impl Runner {
                 if eg.total_nodes() >= self.limits.node_limit {
                     break;
                 }
-                if self.rules[ri].apply_match(eg, class, &subst) {
+                if self.rules[ri].apply_match_legacy(eg, class, &subst) {
                     applied += 1;
+                    rule_stats[ri].applied += 1;
                 }
             }
             eg.rebuild();
 
             iterations.push(IterationStats {
+                matches: found,
                 applied,
                 total_nodes: eg.total_nodes(),
                 num_classes: eg.num_classes(),
@@ -125,7 +383,7 @@ impl Runner {
                 break StopReason::Saturated;
             }
         };
-        RunnerReport { stop_reason, iterations, elapsed: start.elapsed() }
+        RunnerReport { stop_reason, iterations, rule_stats, elapsed: start.elapsed() }
     }
 }
 
@@ -163,10 +421,7 @@ mod tests {
         let runner = Runner::new(all_rules());
         let report = runner.run(&mut eg);
         assert!(eg.same(abc1, abc2), "associativity must merge the two sums");
-        assert!(matches!(
-            report.stop_reason,
-            StopReason::Saturated | StopReason::IterLimit
-        ));
+        assert!(matches!(report.stop_reason, StopReason::Saturated | StopReason::IterLimit));
     }
 
     #[test]
@@ -229,5 +484,91 @@ mod tests {
         let three = eg.add(Node::int(3));
         let x3 = eg.add(Node::new(Op::Add, vec![x, three]));
         assert!(eg.same(x12, x3), "folding must discover x + 3");
+    }
+
+    #[test]
+    fn legacy_engine_reaches_same_equalities() {
+        for engine in [MatchEngine::Compiled, MatchEngine::Legacy] {
+            let mut eg = EGraph::new();
+            let ids = chain_add(&mut eg, &["a", "b", "c"]);
+            let bc = eg.add(Node::new(Op::Mul, vec![ids[1], ids[2]]));
+            let sum = eg.add(Node::new(Op::Add, vec![bc, ids[0]]));
+            let runner = Runner::new(all_rules()).with_engine(engine);
+            runner.run(&mut eg);
+            assert!(
+                eg.class(sum).nodes.iter().any(|n| n.op == Op::Fma),
+                "{engine:?}: FMA must appear"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_counts_each_union_once() {
+        // (+ a b) with COMM-ADD: once (+ b a) exists, the rule matches both
+        // node orders but instantiates the same classes — the dedup must
+        // collapse them, so the second iteration applies nothing.
+        let mut eg = EGraph::new();
+        let ids = chain_add(&mut eg, &["a", "b"]);
+        let _sum = eg.add(Node::new(Op::Add, vec![ids[0], ids[1]]));
+        let runner = Runner::new(vec![Rewrite::new("comm-add", "(+ ?a ?b)", "(+ ?b ?a)")]);
+        let report = runner.run(&mut eg);
+        assert_eq!(report.stop_reason, StopReason::Saturated);
+        let total: usize = report.iterations.iter().map(|i| i.applied).sum();
+        assert_eq!(total, 1, "one real union: {:?}", report.iterations);
+    }
+
+    #[test]
+    fn per_rule_stats_accumulate() {
+        let mut eg = EGraph::new();
+        let ids = chain_add(&mut eg, &["a", "b", "c"]);
+        let bc = eg.add(Node::new(Op::Mul, vec![ids[1], ids[2]]));
+        let _sum = eg.add(Node::new(Op::Add, vec![bc, ids[0]]));
+        let report = Runner::new(all_rules()).run(&mut eg);
+        assert_eq!(report.rule_stats.len(), all_rules().len());
+        let comm = report.rule_stats.iter().find(|s| s.name == "COMM-ADD").unwrap();
+        assert!(comm.matches > 0);
+        assert!(comm.applied > 0);
+        let fma = report.rule_stats.iter().find(|s| s.name == "FMA1").unwrap();
+        assert!(fma.applied > 0, "FMA1 must fire after COMM-ADD: {:?}", report.rule_stats);
+        assert_eq!(report.total_matches(), report.iterations.iter().map(|i| i.matches).sum());
+    }
+
+    #[test]
+    fn backoff_benches_exploding_rule() {
+        // an 8-leaf multiplication chain explodes under comm+assoc; with a
+        // tiny match limit the scheduler must ban and record it
+        let mut eg = EGraph::new();
+        let leaves: Vec<_> = (0..8).map(|i| eg.add(Node::sym(&format!("x{i}")))).collect();
+        let mut acc = leaves[0];
+        for &l in &leaves[1..] {
+            acc = eg.add(Node::new(Op::Mul, vec![acc, l]));
+        }
+        let backoff = BackoffConfig { match_limit: 8, ban_length: 1 };
+        let limits = RunnerLimits { iter_limit: 6, node_limit: 4000, ..Default::default() };
+        let runner = Runner::new(all_rules()).with_limits(limits).with_backoff(Some(backoff));
+        let report = runner.run(&mut eg);
+        let banned: usize = report.rule_stats.iter().map(|s| s.times_banned).sum();
+        assert!(banned > 0, "scheduler must bench at least one rule: {:?}", report.rule_stats);
+        // the run must not be reported as saturated while work is benched
+        if report.stop_reason == StopReason::Saturated {
+            let last = report.iterations.last().unwrap();
+            assert_eq!(last.applied, 0);
+        }
+    }
+
+    #[test]
+    fn backoff_ban_lifts_and_work_completes() {
+        // with a ban in the middle, the final equalities must still appear
+        // once the ban lifts (deferred classes are re-searched)
+        let mut eg = EGraph::new();
+        let ids = chain_add(&mut eg, &["a", "b", "c"]);
+        let ab = eg.add(Node::new(Op::Add, vec![ids[0], ids[1]]));
+        let abc1 = eg.add(Node::new(Op::Add, vec![ab, ids[2]]));
+        let bc = eg.add(Node::new(Op::Add, vec![ids[1], ids[2]]));
+        let abc2 = eg.add(Node::new(Op::Add, vec![ids[0], bc]));
+        let backoff = BackoffConfig { match_limit: 2, ban_length: 1 };
+        let runner = Runner::new(all_rules()).with_backoff(Some(backoff));
+        runner.run(&mut eg);
+        assert!(eg.same(abc1, abc2), "deferred searches must complete after bans lift");
     }
 }

@@ -31,12 +31,7 @@ pub struct ExactResult {
 }
 
 /// Exact DAG-cost extraction under a time budget.
-pub fn extract_exact(
-    eg: &EGraph,
-    roots: &[Id],
-    cm: &CostModel,
-    budget: Duration,
-) -> ExactResult {
+pub fn extract_exact(eg: &EGraph, roots: &[Id], cm: &CostModel, budget: Duration) -> ExactResult {
     let incumbent = extract_greedy(eg, roots, cm);
     let incumbent_cost = incumbent.dag_cost(eg, cm, roots);
     let tree_costs = class_costs(eg, cm);
@@ -134,9 +129,7 @@ impl<'a> Search<'a> {
             .nodes
             .iter()
             .filter(|n| {
-                n.children
-                    .iter()
-                    .all(|&c| self.tree_costs[self.eg.find(c).index()].is_some())
+                n.children.iter().all(|&c| self.tree_costs[self.eg.find(c).index()].is_some())
             })
             .collect();
         cands.sort_by_key(|n| {

@@ -38,12 +38,7 @@ use std::time::Duration;
 /// Extract with the default pipeline: exact branch-and-bound under `budget`,
 /// falling back to (and seeded by) the greedy extraction. Returns the best
 /// selection found.
-pub fn extract(
-    eg: &EGraph,
-    roots: &[Id],
-    cost: &CostModel,
-    budget: Duration,
-) -> Selection {
+pub fn extract(eg: &EGraph, roots: &[Id], cost: &CostModel, budget: Duration) -> Selection {
     extract_exact(eg, roots, cost, budget).selection
 }
 

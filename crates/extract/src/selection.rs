@@ -25,9 +25,7 @@ impl Selection {
     /// selections returned by the extractors always cover all reachable
     /// classes.
     pub fn node(&self, eg: &EGraph, id: Id) -> &Node {
-        self.choice
-            .get(&eg.find(id))
-            .unwrap_or_else(|| panic!("class {id} has no selected node"))
+        self.choice.get(&eg.find(id)).unwrap_or_else(|| panic!("class {id} has no selected node"))
     }
 
     /// Chosen node, if any.
@@ -80,10 +78,7 @@ impl Selection {
     /// True DAG cost: each reachable class's chosen op counted exactly once
     /// (the paper's LP objective).
     pub fn dag_cost(&self, eg: &EGraph, cm: &CostModel, roots: &[Id]) -> u64 {
-        self.reachable(eg, roots)
-            .iter()
-            .map(|&id| cm.op_cost(&self.node(eg, id).op))
-            .sum()
+        self.reachable(eg, roots).iter().map(|&id| cm.op_cost(&self.node(eg, id).op)).sum()
     }
 
     /// Tree cost of one class (children re-counted per use; egg's default

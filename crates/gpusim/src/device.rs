@@ -58,11 +58,7 @@ impl Device {
 
     /// NVIDIA A100-SXM4-80GB (2039 GB/s, 1.31× the PCIE part) — Figs. 5–6.
     pub fn a100_sxm4_80gb() -> Device {
-        Device {
-            name: "A100-SXM4-80GB",
-            mem_bandwidth_gbs: 2039.0,
-            ..Device::a100_pcie_40gb()
-        }
+        Device { name: "A100-SXM4-80GB", mem_bandwidth_gbs: 2039.0, ..Device::a100_pcie_40gb() }
     }
 
     /// Per-SM share of DRAM bandwidth, in bytes per core cycle.

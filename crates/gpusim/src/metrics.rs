@@ -84,8 +84,7 @@ pub fn run_kernel(trace: &Trace, cfg: &LaunchConfig, dev: &Device) -> KernelMetr
 
     let total_cycles = wave_cycles * waves as f64;
     let time_s = total_cycles / (dev.clock_ghz * 1e9);
-    let total_bytes =
-        sim.dram_bytes as f64 * cfg.reps_per_thread * cfg.grid_blocks as f64;
+    let total_bytes = sim.dram_bytes as f64 * cfg.reps_per_thread * cfg.grid_blocks as f64;
     let bandwidth = if time_s > 0.0 { total_bytes / time_s / 1e9 } else { 0.0 };
 
     KernelMetrics {

@@ -106,8 +106,7 @@ pub fn simulate(trace: &Trace, warps: u32, dev: &Device) -> SimResult {
                         bw_debt = (bw_debt - 0.0).max(0.0) + bytes / bpc;
                         let bw_delay = bw_debt as u64;
                         if let Some(d) = inst.dst {
-                            ready[w][d as usize] =
-                                cycle + dev.mem_latency as u64 + bw_delay;
+                            ready[w][d as usize] = cycle + dev.mem_latency as u64 + bw_delay;
                         }
                     }
                     SimOp::Store { coalescing, .. } => {
@@ -123,12 +122,7 @@ pub fn simulate(trace: &Trace, warps: u32, dev: &Device) -> SimResult {
                 }
             } else {
                 next_event = next_event.min(can_issue_at);
-                if src_ready > cycle
-                    && inst
-                        .srcs
-                        .iter()
-                        .any(|&s| ready[w][s as usize] > cycle)
-                {
+                if src_ready > cycle && inst.srcs.iter().any(|&s| ready[w][s as usize] > cycle) {
                     any_mem_stall = true; // approximation: operand stall
                 }
             }
@@ -157,11 +151,7 @@ pub fn simulate(trace: &Trace, warps: u32, dev: &Device) -> SimResult {
         cycles: (cycle as f64 * scale) as u64,
         issued: (issued as f64 * scale) as u64,
         dram_bytes: (dram_bytes as f64 * scale) as u64,
-        mem_stall_frac: if total_slots > 0 {
-            stall_slots as f64 / total_slots as f64
-        } else {
-            0.0
-        },
+        mem_stall_frac: if total_slots > 0 { stall_slots as f64 / total_slots as f64 } else { 0.0 },
     }
 }
 
@@ -181,7 +171,11 @@ mod tests {
     }
 
     fn load(dst: u32) -> SimInst {
-        SimInst { op: SimOp::Load { coalescing: Coalescing::Full, key: dst as u64, base: 0 }, srcs: vec![], dst: Some(dst) }
+        SimInst {
+            op: SimOp::Load { coalescing: Coalescing::Full, key: dst as u64, base: 0 },
+            srcs: vec![],
+            dst: Some(dst),
+        }
     }
 
     fn trace(insts: Vec<SimInst>, regs: u32) -> Trace {

@@ -337,9 +337,8 @@ impl Lowerer {
         match self.linear_coeff(last, v) {
             Some(0) => {
                 // vector var absent from the fastest dimension
-                let in_outer = indices[..indices.len() - 1]
-                    .iter()
-                    .any(|i| self.linear_coeff(i, v) != Some(0));
+                let in_outer =
+                    indices[..indices.len() - 1].iter().any(|i| self.linear_coeff(i, v) != Some(0));
                 if in_outer {
                     Coalescing::Strided
                 } else {
@@ -391,8 +390,14 @@ impl Lowerer {
                 let r = self.expr(rhs);
                 let op = match op {
                     BinOp::Div | BinOp::Mod => SimOp::Special,
-                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
-                    | BinOp::And | BinOp::Or => SimOp::IAlu,
+                    BinOp::Lt
+                    | BinOp::Le
+                    | BinOp::Gt
+                    | BinOp::Ge
+                    | BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::And
+                    | BinOp::Or => SimOp::IAlu,
                     BinOp::Add => SimOp::Flop { kind: 0 },
                     BinOp::Sub => SimOp::Flop { kind: 1 },
                     BinOp::Mul => SimOp::Flop { kind: 2 },
@@ -565,7 +570,6 @@ impl Lowerer {
     }
 }
 
-
 /// Does an expression read memory (or call a function)? Such indices form
 /// real operand dependencies; purely affine indices fold into addressing.
 fn expr_has_memory(e: &Expr) -> bool {
@@ -610,16 +614,12 @@ pub fn fuse_fma(trace: &Trace) -> Trace {
         if let SimOp::Flop { kind } = inst.op {
             if (kind == 0 || kind == 1) && inst.srcs.len() == 2 {
                 // a + b*c (either side) or a - b*c (rhs only)
-                let candidates: &[Reg] = if kind == 0 {
-                    &[inst.srcs[1], inst.srcs[0]]
-                } else {
-                    &inst.srcs[1..2]
-                };
+                let candidates: &[Reg] =
+                    if kind == 0 { &[inst.srcs[1], inst.srcs[0]] } else { &inst.srcs[1..2] };
                 for &r in candidates {
                     if let Some(&mi) = mul_def.get(&r) {
                         if !dead[mi] && mi < i {
-                            let other =
-                                if inst.srcs[0] == r { inst.srcs[1] } else { inst.srcs[0] };
+                            let other = if inst.srcs[0] == r { inst.srcs[1] } else { inst.srcs[0] };
                             let b = trace.insts[mi].srcs[0];
                             let c = trace.insts[mi].srcs[1];
                             dead[mi] = true;
@@ -648,7 +648,6 @@ pub fn fuse_fma(trace: &Trace) -> Trace {
     }
     Trace { insts: out, num_regs: trace.num_regs, work_scale: trace.work_scale }
 }
-
 
 /// Local list scheduling: hoist each load as early as its operands (and
 /// store ordering) allow, limited to `window` slots of motion — the back

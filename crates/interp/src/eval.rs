@@ -121,11 +121,9 @@ impl Interpreter {
                         return Ok(Some(ret));
                     }
                     let step = self.expr(&l.step, env)?;
-                    let cur = env
-                        .scalar(&l.var)
-                        .ok_or_else(|| EvalError {
-                            message: format!("induction variable `{}` vanished", l.var),
-                        })?;
+                    let cur = env.scalar(&l.var).ok_or_else(|| EvalError {
+                        message: format!("induction variable `{}` vanished", l.var),
+                    })?;
                     env.set_scalar(&l.var, Value::Int(cur.as_i64() + step.as_i64()));
                 }
                 if l.declares_var {
@@ -259,8 +257,7 @@ impl Interpreter {
                 apply_bin(*op, l, r)
             }
             Expr::Call { name, args } => {
-                let vals: EResult<Vec<Value>> =
-                    args.iter().map(|a| self.expr(a, env)).collect();
+                let vals: EResult<Vec<Value>> = args.iter().map(|a| self.expr(a, env)).collect();
                 builtin_call(name, &vals?)
             }
             Expr::Ternary { cond, then, els } => {

@@ -74,10 +74,7 @@ impl BinOp {
 
     /// Does this operator produce a boolean (0/1) result in C?
     pub fn is_comparison(&self) -> bool {
-        matches!(
-            self,
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
-        )
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
     }
 }
 
@@ -358,22 +355,10 @@ mod tests {
     #[test]
     fn block_stmt_count_recurses() {
         let inner = Block::new(vec![
-            Stmt::Assign {
-                lhs: LValue::Var("x".into()),
-                op: AssignOp::Assign,
-                rhs: Expr::Int(1),
-            },
-            Stmt::Assign {
-                lhs: LValue::Var("y".into()),
-                op: AssignOp::Assign,
-                rhs: Expr::Int(2),
-            },
+            Stmt::Assign { lhs: LValue::Var("x".into()), op: AssignOp::Assign, rhs: Expr::Int(1) },
+            Stmt::Assign { lhs: LValue::Var("y".into()), op: AssignOp::Assign, rhs: Expr::Int(2) },
         ]);
-        let b = Block::new(vec![Stmt::If {
-            cond: Expr::var("c"),
-            then: inner,
-            els: None,
-        }]);
+        let b = Block::new(vec![Stmt::If { cond: Expr::var("c"), then: inner, els: None }]);
         assert_eq!(b.stmt_count(), 3);
     }
 

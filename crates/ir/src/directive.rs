@@ -174,16 +174,14 @@ impl Directive {
 
     /// Does the directive expose worker-level parallelism?
     pub fn has_worker(&self) -> bool {
-        self.clauses
-            .iter()
-            .any(|c| matches!(c, Clause::Worker(_) | Clause::NumWorkers(_)))
+        self.clauses.iter().any(|c| matches!(c, Clause::Worker(_) | Clause::NumWorkers(_)))
     }
 
     /// Does the directive expose vector-level parallelism?
     pub fn has_vector(&self) -> bool {
-        self.clauses.iter().any(|c| {
-            matches!(c, Clause::Vector(_) | Clause::VectorLength(_) | Clause::Simd)
-        })
+        self.clauses
+            .iter()
+            .any(|c| matches!(c, Clause::Vector(_) | Clause::VectorLength(_) | Clause::Simd))
     }
 
     /// Reduction clauses attached to this directive.
@@ -201,9 +199,7 @@ impl Directive {
             DirectiveKind::AccParallelLoop => s.push_str("acc parallel loop"),
             DirectiveKind::AccKernelsLoop => s.push_str("acc kernels loop"),
             DirectiveKind::AccLoop => s.push_str("acc loop"),
-            DirectiveKind::OmpTargetTeamsDistribute => {
-                s.push_str("omp target teams distribute")
-            }
+            DirectiveKind::OmpTargetTeamsDistribute => s.push_str("omp target teams distribute"),
             DirectiveKind::OmpParallelFor => s.push_str("omp parallel for"),
         }
         for c in &self.clauses {

@@ -440,7 +440,9 @@ mod tests {
             "omp target teams distribute num_teams(120)",
             "omp parallel for simd reduction(max:err)",
         ] {
-            assert_token_roundtrip(&format!("#pragma {pragma}\nfor (int i = 0; i < n; i++) x[i] = 0;"));
+            assert_token_roundtrip(&format!(
+                "#pragma {pragma}\nfor (int i = 0; i < n; i++) x[i] = 0;"
+            ));
         }
     }
 }

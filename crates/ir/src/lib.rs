@@ -20,9 +20,7 @@ pub mod parser;
 pub mod printer;
 pub mod visit;
 
-pub use ast::{
-    AssignOp, BinOp, Block, Expr, Function, LValue, Param, Program, Stmt, Type, UnOp,
-};
+pub use ast::{AssignOp, BinOp, Block, Expr, Function, LValue, Param, Program, Stmt, Type, UnOp};
 pub use directive::{Clause, Directive, DirectiveKind, Model};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse_expr, parse_program, ParseError};

@@ -213,8 +213,8 @@ impl Parser {
                 TokenKind::Pragma(t) => t,
                 _ => unreachable!(),
             };
-            let directive = parse_directive(&text)
-                .map_err(|m| ParseError { message: m, line: self.line() })?;
+            let directive =
+                parse_directive(&text).map_err(|m| ParseError { message: m, line: self.line() })?;
             // skip any stacked pragma (e.g. commented OpenMP equivalent appears
             // as a comment and is already gone; stacked pragmas override)
             let stmt = self.stmt()?;
@@ -502,9 +502,10 @@ impl Parser {
                     Ok(Expr::Var(name))
                 }
             }
-            other => {
-                Err(ParseError { message: format!("unexpected token in expression: {other}"), line })
-            }
+            other => Err(ParseError {
+                message: format!("unexpected token in expression: {other}"),
+                line,
+            }),
         }
     }
 }
@@ -584,10 +585,7 @@ pub fn parse_directive(text: &str) -> Result<Directive, String> {
                     "min" => ReductionOp::Min,
                     other => return Err(format!("unknown reduction op: {other}")),
                 };
-                Clause::Reduction(
-                    op,
-                    vars.split(',').map(|v| v.trim().to_string()).collect(),
-                )
+                Clause::Reduction(op, vars.split(',').map(|v| v.trim().to_string()).collect())
             }
             "private" => {
                 let body = words.paren_arg("private")?;
@@ -851,8 +849,8 @@ void f(double a[8]) {
 
     #[test]
     fn omp_directive_parses() {
-        let d = parse_directive("omp target teams distribute parallel for simd num_teams(8)")
-            .unwrap();
+        let d =
+            parse_directive("omp target teams distribute parallel for simd num_teams(8)").unwrap();
         assert_eq!(d.kind, DirectiveKind::OmpTargetTeamsDistribute);
         assert!(d.has_vector()); // simd
         assert_eq!(d.num_gangs(), Some(8));

@@ -117,10 +117,9 @@ pub fn referenced_arrays(block: &Block) -> Vec<String> {
 
 fn collect_store_bases(s: &Stmt, names: &mut Vec<String>) {
     match s {
-        Stmt::Assign { lhs: LValue::Index { base, .. }, .. }
-            if !names.contains(base) => {
-                names.push(base.clone());
-            }
+        Stmt::Assign { lhs: LValue::Index { base, .. }, .. } if !names.contains(base) => {
+            names.push(base.clone());
+        }
         Stmt::If { then, els, .. } => {
             for s in &then.stmts {
                 collect_store_bases(s, names);
@@ -292,9 +291,7 @@ mod tests {
 
     #[test]
     fn static_profile_counts() {
-        let b = body_of(
-            "void f(double a[4], double b[4]) { b[0] = a[0] * a[1] + a[2] / a[3]; }",
-        );
+        let b = body_of("void f(double a[4], double b[4]) { b[0] = a[0] * a[1] + a[2] / a[3]; }");
         let p = static_profile(&b);
         assert_eq!(p.loads, 4);
         assert_eq!(p.stores, 1);

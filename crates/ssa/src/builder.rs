@@ -248,8 +248,7 @@ impl Builder {
                             LValue::Var(n) => self.value_of(n),
                             LValue::Index { base, indices } => {
                                 self.note_array(base);
-                                let idx: Vec<Id> =
-                                    indices.iter().map(|i| self.expr(i)).collect();
+                                let idx: Vec<Id> = indices.iter().map(|i| self.expr(i)).collect();
                                 let state = self.value_of(base);
                                 let mut children = vec![state];
                                 children.extend(idx);
@@ -270,8 +269,7 @@ impl Builder {
                     }
                     LValue::Index { base, indices } => {
                         self.note_array(base);
-                        let index_classes: Vec<Id> =
-                            indices.iter().map(|i| self.expr(i)).collect();
+                        let index_classes: Vec<Id> = indices.iter().map(|i| self.expr(i)).collect();
                         let state = self.value_of(base);
                         let mut children = vec![state];
                         children.extend(index_classes.iter().copied());
@@ -302,8 +300,7 @@ impl Builder {
                 let els_env = std::mem::replace(&mut self.env, before.clone());
                 // φ for every name whose value differs between the branches
                 let mut phis = Vec::new();
-                let mut names: Vec<&String> =
-                    then_env.keys().chain(els_env.keys()).collect();
+                let mut names: Vec<&String> = then_env.keys().chain(els_env.keys()).collect();
                 names.sort();
                 names.dedup();
                 for name in names {
@@ -350,18 +347,15 @@ impl Builder {
                     let entry = self.eg.add(Node::sym(&format!("{m}@{label}")));
                     self.env.insert(m.clone(), entry);
                 }
-                let entry_classes: HashMap<String, Id> = modified
-                    .iter()
-                    .map(|m| (m.clone(), self.env[m]))
-                    .collect();
+                let entry_classes: HashMap<String, Id> =
+                    modified.iter().map(|m| (m.clone(), self.env[m])).collect();
                 let body_nodes = self.block(&l.body);
                 // post-loop φ
                 let loop_cond = self.eg.add(Node::leaf(Op::LoopCond(label)));
                 let mut phis = Vec::new();
                 for (m, init) in &inits {
                     let body_val = self.env[m];
-                    let phi =
-                        self.eg.add(Node::new(Op::PhiLoop, vec![loop_cond, body_val, *init]));
+                    let phi = self.eg.add(Node::new(Op::PhiLoop, vec![loop_cond, body_val, *init]));
                     if *m == l.var && l.declares_var {
                         // scoped induction variable disappears after the loop
                         self.env.remove(m);

@@ -37,11 +37,7 @@ fn main() {
 
     let cm = CostModel::paper();
     let sel = extract(&eg, &[sum], &cm, Duration::from_millis(200));
-    println!(
-        "extracted: {} (cost {})",
-        sel.term_string(&eg, sum),
-        sel.dag_cost(&eg, &cm, &[sum])
-    );
+    println!("extracted: {} (cost {})", sel.term_string(&eg, sum), sel.dag_cost(&eg, &cm, &[sum]));
     // (a - bc) + (bc - a) = 0 — the custom cancellation rule plus the
     // reorder set proves it, so extraction returns the free constant.
 }

@@ -18,11 +18,7 @@ fn main() {
     for compiler in [Compiler::Nvhpc, Compiler::Gcc] {
         let cm = CompilerModel::new(compiler, Model::OpenAcc);
         let original = evaluate_benchmark(bt, Variant::Original, &cm, &dev).expect("original");
-        println!(
-            "== NPB-BT on {} — original {:.2}s ==",
-            compiler.name(),
-            original.total_time_s
-        );
+        println!("== NPB-BT on {} — original {:.2}s ==", compiler.name(), original.total_time_s);
         for k in &original.kernels {
             println!(
                 "   {}: {:.4} ms/launch, {:.1} Minstr, mem {:.0}%, {} regs, occ {:.0}%",

@@ -8,8 +8,9 @@ use accsat_ir::{parse_program, print_program};
 fn assert_roundtrip(name: &str, src: &str) {
     let p1 = parse_program(src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
     let s1 = print_program(&p1);
-    let p2 = parse_program(&s1)
-        .unwrap_or_else(|e| panic!("{name}: reparse of printed output failed: {e}\n--- printed:\n{s1}"));
+    let p2 = parse_program(&s1).unwrap_or_else(|e| {
+        panic!("{name}: reparse of printed output failed: {e}\n--- printed:\n{s1}")
+    });
     assert_eq!(p1, p2, "{name}: parse→print→parse changed the AST");
     let s2 = print_program(&p2);
     assert_eq!(s1, s2, "{name}: print is not a fixpoint");

@@ -1,0 +1,220 @@
+//! Differential testing of the compiled e-matching engine: on random
+//! e-graphs (random terms plus random unions) and random Table I-shaped
+//! patterns, the pattern VM must produce exactly the same substitution
+//! sets as the legacy backtracking tree-walk matcher.
+
+use accsat_egraph::{EGraph, Id, Node, Op, Rewrite};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ e-graphs
+
+/// A random arithmetic term over a few variables — the raw material of the
+/// random e-graphs.
+#[derive(Debug, Clone)]
+enum T {
+    Var(usize),
+    Const(i8),
+    Add(Box<T>, Box<T>),
+    Sub(Box<T>, Box<T>),
+    Mul(Box<T>, Box<T>),
+    Neg(Box<T>),
+    Fma(Box<T>, Box<T>, Box<T>),
+}
+
+fn term_strategy() -> impl Strategy<Value = T> {
+    let leaf = prop_oneof![(0usize..4).prop_map(T::Var), (-2i8..3).prop_map(T::Const)];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| T::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| T::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| T::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| T::Neg(Box::new(a))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| T::Fma(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
+        ]
+    })
+}
+
+fn add_term(eg: &mut EGraph, t: &T) -> Id {
+    match t {
+        T::Var(i) => eg.add(Node::sym(&format!("x{i}"))),
+        T::Const(c) => eg.add(Node::int(*c as i64)),
+        T::Add(a, b) => {
+            let (a, b) = (add_term(eg, a), add_term(eg, b));
+            eg.add(Node::new(Op::Add, vec![a, b]))
+        }
+        T::Sub(a, b) => {
+            let (a, b) = (add_term(eg, a), add_term(eg, b));
+            eg.add(Node::new(Op::Sub, vec![a, b]))
+        }
+        T::Mul(a, b) => {
+            let (a, b) = (add_term(eg, a), add_term(eg, b));
+            eg.add(Node::new(Op::Mul, vec![a, b]))
+        }
+        T::Neg(a) => {
+            let a = add_term(eg, a);
+            eg.add(Node::new(Op::Neg, vec![a]))
+        }
+        T::Fma(a, b, c) => {
+            let (a, b, c) = (add_term(eg, a), add_term(eg, b), add_term(eg, c));
+            eg.add(Node::new(Op::Fma, vec![a, b, c]))
+        }
+    }
+}
+
+/// Random e-graph: a handful of terms, then random unions between the
+/// classes they created, congruence restored. Constant folding is off —
+/// the unions are arbitrary equality assertions, which may contradict the
+/// analysis (merging e.g. the classes of `-1` and `-2`); the matchers under
+/// test don't involve analysis data.
+fn egraph_strategy() -> impl Strategy<Value = EGraph> {
+    (
+        proptest::collection::vec(term_strategy(), 1..5),
+        proptest::collection::vec((0usize..64, 0usize..64), 0..6),
+    )
+        .prop_map(|(terms, unions)| {
+            let mut eg = EGraph::without_constant_folding();
+            let mut ids = Vec::new();
+            for t in &terms {
+                ids.push(add_term(&mut eg, t));
+            }
+            let all: Vec<Id> = eg.classes().map(|(id, _)| id).collect();
+            for (a, b) in unions {
+                let a = all[a % all.len()];
+                let b = all[b % all.len()];
+                eg.union(a, b);
+            }
+            eg.rebuild();
+            eg
+        })
+}
+
+// ------------------------------------------------------------ patterns
+
+/// A random pattern shaped like the Table I rules: operators over the term
+/// language with `?a ?b ?c` variables, repetition allowed (non-linear).
+#[derive(Debug, Clone)]
+enum P {
+    Var(usize),
+    Lit(i8),
+    Un(&'static str, Box<P>),
+    Bin(&'static str, Box<P>, Box<P>),
+    Tri(&'static str, Box<P>, Box<P>, Box<P>),
+}
+
+fn pattern_strategy() -> impl Strategy<Value = P> {
+    let leaf = prop_oneof![(0usize..3).prop_map(P::Var), (-2i8..3).prop_map(P::Lit)];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (prop_oneof![Just("+"), Just("-"), Just("*")], inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| P::Bin(op, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| P::Un("neg", Box::new(a))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| P::Tri(
+                "fma",
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
+        ]
+    })
+}
+
+fn pattern_string(p: &P) -> String {
+    match p {
+        P::Var(i) => format!("?{}", ["a", "b", "c"][*i]),
+        P::Lit(v) => v.to_string(),
+        P::Un(op, a) => format!("({op} {})", pattern_string(a)),
+        P::Bin(op, a, b) => format!("({op} {} {})", pattern_string(a), pattern_string(b)),
+        P::Tri(op, a, b, c) => {
+            format!("({op} {} {} {})", pattern_string(a), pattern_string(b), pattern_string(c))
+        }
+    }
+}
+
+// ------------------------------------------------------- normalization
+
+/// Normal form of a match set: sorted multiset of (root, sorted bindings),
+/// everything canonical. The compiled and legacy matchers must agree on
+/// this exactly — same matches, same multiplicities.
+fn normalize_compiled(eg: &EGraph, rule: &Rewrite) -> Vec<(Id, Vec<(String, Id)>)> {
+    let mut out: Vec<(Id, Vec<(String, Id)>)> = rule
+        .search(eg)
+        .into_iter()
+        .map(|m| {
+            let mut s: Vec<(String, Id)> =
+                rule.subst_map(&m.subst).into_iter().map(|(k, v)| (k, eg.find(v))).collect();
+            s.sort();
+            (eg.find(m.class), s)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn normalize_legacy(eg: &EGraph, rule: &Rewrite) -> Vec<(Id, Vec<(String, Id)>)> {
+    let mut out: Vec<(Id, Vec<(String, Id)>)> = rule
+        .search_legacy(eg)
+        .into_iter()
+        .map(|(class, s)| {
+            let mut s: Vec<(String, Id)> = s.into_iter().map(|(k, v)| (k, eg.find(v))).collect();
+            s.sort();
+            (eg.find(class), s)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The compiled VM and the legacy backtracking matcher produce exactly
+    /// the same substitution multisets on random e-graphs and random
+    /// Table I-shaped patterns.
+    #[test]
+    fn compiled_vm_matches_legacy_matcher(eg in egraph_strategy(), p in pattern_strategy()) {
+        let lhs = pattern_string(&p);
+        // rhs reuses one lhs variable when any is bound, else a ground term
+        let rule = if let Some(v) = ["?a", "?b", "?c"].iter().find(|v| lhs.contains(*v)) {
+            Rewrite::new("diff", &lhs, v)
+        } else {
+            Rewrite::new("diff", &lhs, "0")
+        };
+        let compiled = normalize_compiled(&eg, &rule);
+        let legacy = normalize_legacy(&eg, &rule);
+        prop_assert!(
+            compiled == legacy,
+            "match sets diverge for pattern {}: {} compiled vs {} legacy\n{compiled:?}\n{legacy:?}",
+            lhs,
+            compiled.len(),
+            legacy.len()
+        );
+    }
+
+    /// Matches reported by the compiled engine are rooted at canonical
+    /// classes with canonical bindings.
+    #[test]
+    fn compiled_matches_are_canonical(eg in egraph_strategy(), p in pattern_strategy()) {
+        let lhs = pattern_string(&p);
+        let rule = Rewrite::new("canon", &lhs, "0");
+        for m in rule.search(&eg) {
+            prop_assert!(eg.find(m.class) == m.class, "root {} must be canonical", m.class);
+            for &id in m.subst.as_slice() {
+                prop_assert!(eg.find(id) == id, "binding {id} must be canonical");
+            }
+        }
+    }
+
+    /// Every Table I rule agrees between engines on random e-graphs.
+    #[test]
+    fn table1_rules_agree_between_engines(eg in egraph_strategy()) {
+        for rule in accsat_egraph::all_rules() {
+            let compiled = normalize_compiled(&eg, &rule);
+            let legacy = normalize_legacy(&eg, &rule);
+            prop_assert!(compiled == legacy, "rule {} diverges", rule.name);
+        }
+    }
+}

@@ -27,10 +27,7 @@ enum T {
 }
 
 fn term_strategy() -> impl Strategy<Value = T> {
-    let leaf = prop_oneof![
-        (0usize..3).prop_map(T::Var),
-        (-3i8..4).prop_map(T::Const),
-    ];
+    let leaf = prop_oneof![(0usize..3).prop_map(T::Var), (-3i8..4).prop_map(T::Const),];
     leaf.prop_recursive(4, 32, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| T::Add(Box::new(a), Box::new(b))),
@@ -88,7 +85,8 @@ fn eval_selection(
         return v;
     }
     let node = sel.node(eg, id).clone();
-    let kid = |i: usize, memo: &mut HashMap<Id, f64>| eval_selection(eg, sel, node.children[i], xs, memo);
+    let kid =
+        |i: usize, memo: &mut HashMap<Id, f64>| eval_selection(eg, sel, node.children[i], xs, memo);
     let v = match &node.op {
         Op::Sym(s) => {
             let i: usize = s.trim_start_matches('x').parse().unwrap();
@@ -163,9 +161,7 @@ fn kernel_strategy() -> impl Strategy<Value = String> {
     let stmt = prop_oneof![
         // out[i] = a[i] <op> a[i +/- 1] * c
         (0usize..3, 0usize..3, prop_oneof![Just("+"), Just("-"), Just("*")]).prop_map(
-            |(x, y, op)| {
-                format!("out[i] = a[i] {op} a[(i + {x}) % 16] * (c + {y}.0);")
-            }
+            |(x, y, op)| { format!("out[i] = a[i] {op} a[(i + {x}) % 16] * (c + {y}.0);") }
         ),
         // t accumulation
         (1usize..4).prop_map(|k| format!("t = t + a[(i + {k}) % 16] * c;")),

@@ -51,11 +51,11 @@ fn setup_env(prog: &Program, bench: &Benchmark, seed: u64) -> Env {
                         (0..n).map(|_| (rng.next_u64() % cols as u64) as i64).collect();
                     env.set_array(&p.name, ArrayData::from_i64(&p.dims, data));
                 } else if p.ty == accsat_ir::Type::Int {
-                    let data: Vec<i64> = (0..p.len()).map(|_| (rng.next_u64() % 7) as i64).collect();
+                    let data: Vec<i64> =
+                        (0..p.len()).map(|_| (rng.next_u64() % 7) as i64).collect();
                     env.set_array(&p.name, ArrayData::from_i64(&p.dims, data));
                 } else {
-                    let data: Vec<f64> =
-                        (0..p.len()).map(|_| rng.next_f64() * 2.0 + 0.5).collect();
+                    let data: Vec<f64> = (0..p.len()).map(|_| rng.next_f64() * 2.0 + 0.5).collect();
                     env.set_array(&p.name, ArrayData::from_f64(&p.dims, data));
                 }
             } else if let Some(&v) = bindings.get(&p.name) {
@@ -92,10 +92,7 @@ fn check_benchmark(bench: &Benchmark, src: &str, label: &str) {
             });
         }
         if let Some((arr, i, a, b)) = compare_arrays(&env_orig, &env_opt, 1e-6) {
-            panic!(
-                "{label} {variant:?}: {arr}[{i}] diverged: {a} vs {b}\n{}",
-                print_program(&opt)
-            );
+            panic!("{label} {variant:?}: {arr}[{i}] diverged: {a} vs {b}\n{}", print_program(&opt));
         }
     }
 }
@@ -129,8 +126,8 @@ fn optimized_code_reparses_and_reoptimizes() {
         let prog = parse_program(&bench.acc_source).unwrap();
         let (once, _) = optimize_program(&prog, Variant::AccSat).unwrap();
         let text = print_program(&once);
-        let reparsed = parse_program(&text)
-            .unwrap_or_else(|e| panic!("{}: reparse: {e}\n{text}", bench.name));
+        let reparsed =
+            parse_program(&text).unwrap_or_else(|e| panic!("{}: reparse: {e}\n{text}", bench.name));
         let (_twice, stats) = optimize_program(&reparsed, Variant::AccSat)
             .unwrap_or_else(|e| panic!("{}: second round: {e}", bench.name));
         assert!(!stats.is_empty());

@@ -7,6 +7,11 @@
 //! macros. Timing is a plain median-of-samples wall-clock measurement with
 //! a short warm-up — good enough to compare variants, with none of the
 //! statistics machinery.
+//!
+//! Passing `--smoke` to a bench binary (`cargo bench -- --smoke`, also
+//! honored via `CRITERION_SMOKE=1`) runs every routine exactly once with no
+//! warm-up or sampling — the CI smoke mode that proves the benches still
+//! build and run without paying measurement cost.
 
 use std::fmt::Display;
 use std::hint;
@@ -41,14 +46,28 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Is smoke mode requested (a `--smoke` argument or `CRITERION_SMOKE=1`)?
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("CRITERION_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
 pub struct Bencher {
     samples: usize,
+    smoke: bool,
     /// Median sample duration, filled in by [`Bencher::iter`].
     measured: Duration,
 }
 
 impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Smoke mode: prove the routine runs, skip warm-up and sampling.
+        if self.smoke {
+            let start = Instant::now();
+            black_box(routine());
+            self.measured = start.elapsed();
+            return;
+        }
         // Warm up, and pick an iteration count that makes one sample take
         // a measurable amount of time.
         let start = Instant::now();
@@ -82,11 +101,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    fn bencher(&self) -> Bencher {
+        let smoke = self.criterion.smoke;
+        Bencher {
+            samples: if smoke { 1 } else { self.sample_size },
+            smoke,
+            measured: Duration::ZERO,
+        }
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.sample_size, measured: Duration::ZERO };
+        let mut b = self.bencher();
         f(&mut b);
         self.report(id.into(), b.measured);
         self
@@ -101,7 +129,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: self.sample_size, measured: Duration::ZERO };
+        let mut b = self.bencher();
         f(&mut b, input);
         self.report(id.into(), b.measured);
         self
@@ -115,8 +143,15 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { smoke: smoke_mode() }
+    }
+}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {

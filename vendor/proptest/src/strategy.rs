@@ -32,7 +32,13 @@ pub trait Strategy {
     /// `_branch` are accepted for API compatibility but only depth matters
     /// here (each level mixes the leaf back in, so expected sizes stay
     /// small, like the real crate's budgeted recursion).
-    fn prop_recursive<S2, F>(self, depth: u32, _size: u32, _branch: u32, f: F) -> BoxedStrategy<Self::Value>
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
         S2: Strategy<Value = Self::Value> + 'static,

@@ -96,9 +96,7 @@ fn regression_path(source_file: &str) -> PathBuf {
     comps.next();
     let tail = comps.as_path();
     let tail = if tail.as_os_str().is_empty() { rel.as_path() } else { tail };
-    PathBuf::from(manifest)
-        .join("proptest-regressions")
-        .join(tail.with_extension("txt"))
+    PathBuf::from(manifest).join("proptest-regressions").join(tail.with_extension("txt"))
 }
 
 fn load_regression_seeds(source_file: &str, test_name: &str) -> Vec<u64> {
