@@ -1,0 +1,139 @@
+//! Benches of the parallel batch optimization driver: sequential vs
+//! parallel wall time over a multi-kernel suite, the shared-rules driver
+//! against a naive per-benchmark loop, and the extraction portfolio width.
+//!
+//! Numbers land in EXPERIMENTS.md ("Batch driver"). Note the scaling
+//! group measures *whatever the host offers* — on a single-core container
+//! thread counts are expected to tie; the determinism guarantee (same
+//! results at any thread count) is what the batch tests pin down.
+
+use accsat::batch::{optimize_suite, ParallelConfig};
+use accsat::{optimize_program, SaturatorConfig, Variant};
+use accsat_ir::parse_program;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Thread-count scaling over the NPB suite (full pipeline, AccSat).
+fn bench_batch_threads(c: &mut Criterion) {
+    let benches = accsat_benchmarks::npb_benchmarks();
+    let config = SaturatorConfig::default();
+    let mut group = c.benchmark_group("batch_suite");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("npb_accsat", format!("t{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    optimize_suite(
+                        &benches,
+                        Variant::AccSat,
+                        &config,
+                        &ParallelConfig { threads, kernel_deadline: None },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The batch driver (rules compiled once, shared `Arc`) against the naive
+/// driver the seed used: one `optimize_program` call per benchmark, each
+/// recompiling the rule set and racing no extraction portfolio.
+fn bench_batch_vs_naive(c: &mut Criterion) {
+    let benches = accsat_benchmarks::npb_benchmarks();
+    let programs: Vec<_> = benches.iter().map(|b| parse_program(&b.acc_source).unwrap()).collect();
+    let config = SaturatorConfig::default();
+    let mut group = c.benchmark_group("batch_driver");
+    group.sample_size(10);
+    group.bench_function("shared_rules_batch", |b| {
+        b.iter(|| {
+            optimize_suite(
+                &benches,
+                Variant::AccSat,
+                &config,
+                &ParallelConfig { threads: 1, kernel_deadline: None },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("naive_per_benchmark", |b| {
+        b.iter(|| {
+            programs
+                .iter()
+                .map(|p| optimize_program(p, Variant::AccSat).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+/// Extraction portfolio width on the largest kernels (BT + LU): how much
+/// wall time the racing strategies cost on this host.
+fn bench_portfolio_width(c: &mut Criterion) {
+    let benches: Vec<_> = accsat_benchmarks::npb_benchmarks()
+        .into_iter()
+        .filter(|b| b.name == "BT" || b.name == "LU")
+        .collect();
+    let mut group = c.benchmark_group("extraction_portfolio");
+    group.sample_size(10);
+    for width in [1usize, 2] {
+        let config = SaturatorConfig { extraction_threads: width, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::new("bt_lu", format!("w{width}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    optimize_suite(
+                        &benches,
+                        Variant::AccSat,
+                        config,
+                        &ParallelConfig { threads: 1, kernel_deadline: None },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Deterministic node budget (the new default) against the PR2-style
+/// wall-clock extraction budget: the wall-bound search burns its full
+/// 500 ms on every kernel it cannot prove, the node-bound one stops at
+/// 60 000 explored nodes — same selections, a fraction of the wall time.
+fn bench_budget_mode(c: &mut Criterion) {
+    let benches = accsat_benchmarks::npb_benchmarks();
+    let wall_bound = SaturatorConfig {
+        extraction_node_budget: u64::MAX,
+        extraction_budget: std::time::Duration::from_millis(500),
+        ..Default::default()
+    };
+    let node_bound = SaturatorConfig::default();
+    let mut group = c.benchmark_group("extraction_budget");
+    group.sample_size(10);
+    for (name, config) in [("wallclock_500ms", &wall_bound), ("deterministic_60k", &node_bound)] {
+        group.bench_with_input(BenchmarkId::new("npb", name), config, |b, config| {
+            b.iter(|| {
+                optimize_suite(
+                    &benches,
+                    Variant::AccSat,
+                    config,
+                    &ParallelConfig { threads: 1, kernel_deadline: None },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_threads,
+    bench_batch_vs_naive,
+    bench_portfolio_width,
+    bench_budget_mode
+);
+criterion_main!(benches);

@@ -433,7 +433,11 @@ impl<'a> Emitter<'a> {
             .filter(|(_, (p, _))| p == path)
             .map(|(&c, &(_, item))| (c, item))
             .collect();
-        scheduled.sort_by_key(|&(_, item)| item);
+        // tie-break equal items by class id: the map iterates in a
+        // randomly seeded order, and two temps due at the same item must
+        // still be emitted deterministically (batch runs are compared
+        // byte-for-byte across thread counts)
+        scheduled.sort_by_key(|&(c, item)| (item, c));
 
         for (i, node) in nodes.iter().enumerate() {
             self.flush_scheduled(&mut scheduled, i, &mut out);
@@ -477,13 +481,14 @@ impl<'a> Emitter<'a> {
                     true
                 }
             });
-            // sort bulk loads by (array, static index text)
-            ready.sort_by_key(|&c| self.load_sort_key(c));
+            // sort bulk loads by (array, static index text), class id as
+            // the deterministic tie-break
+            ready.sort_by_key(|&c| (self.load_sort_key(c), c));
             due.extend(ready);
             // also sort the due loads themselves so the bulk region is tidy
             let (mut loads, others): (Vec<Id>, Vec<Id>) =
                 due.into_iter().partition(|&c| self.sel.node(self.eg, c).op == Op::Load);
-            loads.sort_by_key(|&c| self.load_sort_key(c));
+            loads.sort_by_key(|&c| (self.load_sort_key(c), c));
             due = others.into_iter().chain(loads).collect();
         }
         for c in due {
@@ -649,12 +654,16 @@ impl<'a> Emitter<'a> {
     /// availability is a plain reference to one of those variables, and
     /// which is still needed later, gets captured into a temp.
     fn capture_endangered(&mut self, assigned: &[String], out: &mut Vec<Stmt>) {
-        let endangered: Vec<(Id, String)> = self
+        let mut endangered: Vec<(Id, String)> = self
             .volatile_var
             .iter()
             .filter(|(c, v)| assigned.contains(v) && self.remaining(**c) > 0)
             .map(|(&c, v)| (c, v.clone()))
             .collect();
+        // the map iterates in a randomly seeded order; capture temps must
+        // be emitted deterministically (batch output is compared
+        // byte-for-byte), so order by variable name then class
+        endangered.sort_by(|a, b| (&a.1, a.0).cmp(&(&b.1, b.0)));
         for (class, var) in endangered {
             // skip capture when the variable still holds this exact class and
             // the assignment would write the same class back (no-op)

@@ -19,7 +19,8 @@
 //!   hoisted across a conflicting store.
 //!
 //! The original control structure and all directives are preserved: codegen
-//! re-walks the [`SsaNode`] tree and re-emits `if`/`for` headers verbatim,
+//! re-walks the [`accsat_ssa::SsaNode`] tree and re-emits `if`/`for`
+//! headers verbatim,
 //! substituting only the computation.
 
 pub mod emit;

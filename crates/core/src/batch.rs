@@ -1,0 +1,401 @@
+//! Parallel batch optimization driver: the full pipeline over every kernel
+//! of a benchmark suite on a scoped thread pool.
+//!
+//! The paper's evaluation (§VIII) sweeps every NPB and SPEC ACCEL kernel,
+//! yet the pipeline itself optimizes one kernel at a time. This module
+//! closes that gap: [`optimize_suite`] parses every benchmark, flattens the
+//! suite into per-function work items, and drains them from a shared queue
+//! with `std::thread::scope` workers. The compiled rewrite rules live in
+//! one `Arc` ([`SaturatorConfig::rules`]) shared by every worker — rules
+//! are compiled once per batch, not once per kernel.
+//!
+//! # Determinism
+//!
+//! A batch run's report depends only on the inputs and the configuration,
+//! not on scheduling: work items land in pre-allocated result slots (never
+//! in completion order), every kernel is optimized by the exact same code
+//! path a sequential run uses, and the per-kernel extraction portfolio is
+//! deterministic by construction (see [`accsat_extract::portfolio`]). So
+//! `threads = 8` and `threads = 1` produce byte-identical optimized
+//! sources, selections and costs — parallelism only changes the wall
+//! clock. (The wall-clock safety valves — saturation time limit,
+//! extraction deadline, per-kernel deadline — are generous defaults that
+//! do not bind at benchmark sizes; a run that does hit one falls back to
+//! sound-but-unproven results.)
+
+use crate::pipeline::{optimize_function, OptStats, SaturatorConfig, Variant};
+use accsat_benchmarks::Benchmark;
+use accsat_ir::{parse_program, print_program, Program};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Thread-pool configuration for a batch run.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Worker threads draining the kernel queue. `1` runs the suite
+    /// sequentially on the calling thread (same results, more wall clock).
+    pub threads: usize,
+    /// Optional per-kernel wall-clock deadline. Split between saturation
+    /// and extraction in the paper's 10 s : 30 s proportion; clamps the
+    /// corresponding limits in the per-kernel [`SaturatorConfig`].
+    pub kernel_deadline: Option<Duration>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        // each in-flight kernel also races a 2-wide extraction portfolio
+        // (`SaturatorConfig::extraction_threads`), so sizing the pool at
+        // half the cores keeps the default batch from oversubscribing
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParallelConfig { threads: cores.div_ceil(2), kernel_deadline: None }
+    }
+}
+
+/// Outcome of one optimized function (one work item of the batch).
+#[derive(Debug, Clone)]
+pub struct FunctionRecord {
+    /// Benchmark the function belongs to.
+    pub benchmark: String,
+    /// Function name.
+    pub function: String,
+    /// Per-kernel-loop optimizer statistics (one entry per innermost
+    /// parallel loop in the function).
+    pub stats: Vec<OptStats>,
+    /// Wall time this work item took on its worker.
+    pub wall: Duration,
+}
+
+/// Everything the batch produced for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRecord {
+    /// Benchmark name (Table II/III).
+    pub benchmark: String,
+    /// The optimized source, printed back to C.
+    pub optimized_source: String,
+    /// Per-function outcomes, in source order.
+    pub functions: Vec<FunctionRecord>,
+}
+
+impl BenchmarkRecord {
+    /// Sum of extracted DAG costs over all kernels.
+    pub fn total_cost(&self) -> u64 {
+        self.kernel_stats().map(|s| s.extracted_cost).sum()
+    }
+
+    /// Iterate over every kernel-loop stat of the benchmark.
+    pub fn kernel_stats(&self) -> impl Iterator<Item = &OptStats> {
+        self.functions.iter().flat_map(|f| f.stats.iter())
+    }
+}
+
+/// Aggregated result of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The generated-code variant the batch ran.
+    pub variant: Variant,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-benchmark results, in suite order.
+    pub benchmarks: Vec<BenchmarkRecord>,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Sum of extracted DAG costs over the whole suite.
+    pub fn total_cost(&self) -> u64 {
+        self.benchmarks.iter().map(|b| b.total_cost()).sum()
+    }
+
+    /// Total kernel count across the suite.
+    pub fn total_kernels(&self) -> usize {
+        self.benchmarks.iter().map(|b| b.kernel_stats().count()).sum()
+    }
+
+    /// Sum of per-work-item wall times: the sequential work the pool
+    /// compressed into `wall`.
+    pub fn sequential_work(&self) -> Duration {
+        self.benchmarks.iter().flat_map(|b| b.functions.iter()).map(|f| f.wall).sum()
+    }
+
+    /// Render the per-benchmark summary as an ASCII table.
+    pub fn render_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .benchmarks
+            .iter()
+            .map(|b| {
+                let kernels = b.kernel_stats().count();
+                let nodes: usize = b.kernel_stats().map(|s| s.egraph_nodes).sum();
+                let proven = b.kernel_stats().filter(|s| s.extraction_proven).count();
+                let sat_ms: f64 = b.kernel_stats().map(|s| s.saturation.as_secs_f64() * 1e3).sum();
+                let ext_ms: f64 = b.kernel_stats().map(|s| s.extraction.as_secs_f64() * 1e3).sum();
+                vec![
+                    b.benchmark.clone(),
+                    kernels.to_string(),
+                    nodes.to_string(),
+                    b.total_cost().to_string(),
+                    format!("{proven}/{kernels}"),
+                    format!("{sat_ms:.1}"),
+                    format!("{ext_ms:.1}"),
+                ]
+            })
+            .collect();
+        crate::report::render_table(
+            &["Benchmark", "Kernels", "E-nodes", "Cost", "Optimal", "Sat ms", "Extract ms"],
+            &rows,
+        )
+    }
+
+    /// Serialize the report as JSON (hand-rolled — the environment has no
+    /// serde; names are simple identifiers but are escaped anyway).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"variant\": \"{}\",\n", self.variant.label()));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"wall_ms\": {:.3},\n", self.wall.as_secs_f64() * 1e3));
+        out.push_str(&format!(
+            "  \"sequential_work_ms\": {:.3},\n",
+            self.sequential_work().as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!("  \"total_cost\": {},\n", self.total_cost()));
+        out.push_str("  \"benchmarks\": [\n");
+        for (bi, b) in self.benchmarks.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"total_cost\": {}, \"kernels\": [\n",
+                escape(&b.benchmark),
+                b.total_cost()
+            ));
+            let stats: Vec<(&str, &OptStats)> = b
+                .functions
+                .iter()
+                .flat_map(|f| f.stats.iter().map(move |s| (f.function.as_str(), s)))
+                .collect();
+            for (ki, (func, s)) in stats.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"function\": \"{}\", \"egraph_nodes\": {}, \
+                     \"iterations\": {}, \"cost\": {}, \"proven_optimal\": {}, \
+                     \"winner\": \"{}\", \"explored\": {}, \"saturation_ms\": {:.3}, \
+                     \"extraction_ms\": {:.3}}}{}\n",
+                    escape(func),
+                    s.egraph_nodes,
+                    s.saturation_iters,
+                    s.extracted_cost,
+                    s.extraction_proven,
+                    s.extraction_winner,
+                    s.extraction_explored,
+                    s.saturation.as_secs_f64() * 1e3,
+                    s.extraction.as_secs_f64() * 1e3,
+                    if ki + 1 < stats.len() { "," } else { "" },
+                ));
+            }
+            out.push_str(&format!(
+                "    ]}}{}\n",
+                if bi + 1 < self.benchmarks.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Derive the per-kernel configuration: clamp saturation and extraction
+/// wall budgets to the kernel deadline (25% saturation, 75% extraction —
+/// the paper's 10 s : 30 s split).
+fn kernel_config(base: &SaturatorConfig, deadline: Option<Duration>) -> SaturatorConfig {
+    let mut cfg = base.clone();
+    if let Some(d) = deadline {
+        cfg.limits.time_limit = cfg.limits.time_limit.min(d.mul_f64(0.25));
+        cfg.extraction_budget = cfg.extraction_budget.min(d.mul_f64(0.75));
+    }
+    cfg
+}
+
+/// Run the full pipeline over every kernel of `benches` on a scoped
+/// thread pool. Results are identical to a sequential run; only the wall
+/// clock changes with `par.threads`.
+pub fn optimize_suite(
+    benches: &[Benchmark],
+    variant: Variant,
+    config: &SaturatorConfig,
+    par: &ParallelConfig,
+) -> Result<BatchReport, String> {
+    let t0 = Instant::now();
+    let cfg = kernel_config(config, par.kernel_deadline);
+
+    // parse up-front (cheap, sequential, deterministic), then flatten the
+    // suite into (benchmark, function) work items
+    let mut programs: Vec<Program> = Vec::with_capacity(benches.len());
+    for b in benches {
+        programs.push(parse_program(&b.acc_source).map_err(|e| format!("{}: {e}", b.name))?);
+    }
+    let items: Vec<(usize, usize)> = programs
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, p)| (0..p.functions.len()).map(move |fi| (bi, fi)))
+        .collect();
+
+    // pre-allocated result slots: workers write by item index, so the
+    // aggregation below never depends on completion order
+    type Slot = Option<Result<(accsat_ir::Function, Vec<OptStats>, Duration), String>>;
+    let slots: Vec<Mutex<Slot>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = par.threads.clamp(1, items.len().max(1));
+
+    let drain = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&(bi, fi)) = items.get(i) else { break };
+        let f = &programs[bi].functions[fi];
+        let t = Instant::now();
+        let r = optimize_function(f, variant, &cfg).map(|(nf, stats)| (nf, stats, t.elapsed()));
+        *slots[i].lock().expect("result slot") = Some(r);
+    };
+    if workers == 1 {
+        // truly sequential: the calling thread drains the queue itself
+        drain();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(drain);
+            }
+        });
+    }
+
+    // reassemble per benchmark, in suite order
+    let mut records: Vec<BenchmarkRecord> = benches
+        .iter()
+        .map(|b| BenchmarkRecord {
+            benchmark: b.name.to_string(),
+            optimized_source: String::new(),
+            functions: Vec::new(),
+        })
+        .collect();
+    for (i, &(bi, fi)) in items.iter().enumerate() {
+        let slot = slots[i].lock().expect("result slot").take();
+        let (nf, stats, wall) = slot.expect("worker filled every slot")?;
+        records[bi].functions.push(FunctionRecord {
+            benchmark: benches[bi].name.to_string(),
+            function: nf.name.clone(),
+            stats,
+            wall,
+        });
+        programs[bi].functions[fi] = nf;
+    }
+    for (bi, rec) in records.iter_mut().enumerate() {
+        rec.optimized_source = print_program(&programs[bi]);
+    }
+
+    Ok(BatchReport { variant, threads: workers, benchmarks: records, wall: t0.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accsat_egraph::RunnerLimits;
+    use std::sync::Arc;
+
+    /// A small two-benchmark suite so tests stay fast in debug builds.
+    fn mini_suite() -> Vec<Benchmark> {
+        accsat_benchmarks::npb_benchmarks()
+            .into_iter()
+            .filter(|b| b.name == "CG" || b.name == "EP")
+            .collect()
+    }
+
+    fn fast_config() -> SaturatorConfig {
+        SaturatorConfig {
+            limits: RunnerLimits { node_limit: 2000, ..Default::default() },
+            extraction_node_budget: 10_000,
+            extraction_budget: Duration::from_secs(60),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batch_runs_and_aggregates() {
+        let suite = mini_suite();
+        let cfg = fast_config();
+        let par = ParallelConfig { threads: 2, kernel_deadline: None };
+        let report = optimize_suite(&suite, Variant::AccSat, &cfg, &par).unwrap();
+        assert_eq!(report.benchmarks.len(), 2);
+        assert!(report.total_kernels() >= 2);
+        assert!(report.total_cost() > 0);
+        for b in &report.benchmarks {
+            assert!(!b.optimized_source.is_empty());
+            assert!(b.optimized_source.contains("#pragma acc"), "directives preserved");
+        }
+        let table = report.render_table();
+        assert!(table.contains("CG") && table.contains("EP"));
+        let json = report.to_json();
+        assert!(json.contains("\"variant\": \"ACCSAT\""));
+        assert!(json.contains("\"proven_optimal\""));
+    }
+
+    #[test]
+    fn parallel_equals_sequential_byte_for_byte() {
+        let suite = mini_suite();
+        let cfg = fast_config();
+        let seq = optimize_suite(
+            &suite,
+            Variant::AccSat,
+            &cfg,
+            &ParallelConfig { threads: 1, kernel_deadline: None },
+        )
+        .unwrap();
+        let par = optimize_suite(
+            &suite,
+            Variant::AccSat,
+            &cfg,
+            &ParallelConfig { threads: 4, kernel_deadline: None },
+        )
+        .unwrap();
+        assert_eq!(seq.total_cost(), par.total_cost());
+        for (a, b) in seq.benchmarks.iter().zip(&par.benchmarks) {
+            assert_eq!(
+                a.optimized_source, b.optimized_source,
+                "{}: sources must be byte-identical",
+                a.benchmark
+            );
+            let ca: Vec<u64> = a.kernel_stats().map(|s| s.extracted_cost).collect();
+            let cb: Vec<u64> = b.kernel_stats().map(|s| s.extracted_cost).collect();
+            assert_eq!(ca, cb, "{}: per-kernel costs must match", a.benchmark);
+        }
+    }
+
+    #[test]
+    fn shared_rules_are_not_recompiled() {
+        // the Arc in the config is what every worker clones: after a batch
+        // run the strong count must be back to 1 (no leaked clones) and
+        // the batch must have used the same allocation throughout
+        let cfg = fast_config();
+        let rules = Arc::clone(&cfg.rules);
+        let suite = mini_suite();
+        let _ = optimize_suite(
+            &suite,
+            Variant::AccSat,
+            &cfg,
+            &ParallelConfig { threads: 2, kernel_deadline: None },
+        )
+        .unwrap();
+        assert_eq!(Arc::strong_count(&rules), 2, "config + test handle only");
+    }
+
+    #[test]
+    fn kernel_deadline_clamps_budgets() {
+        let base = SaturatorConfig::default();
+        let cfg = kernel_config(&base, Some(Duration::from_secs(4)));
+        assert_eq!(cfg.limits.time_limit, Duration::from_secs(1));
+        assert_eq!(cfg.extraction_budget, Duration::from_secs(3));
+        let cfg2 = kernel_config(&base, Some(Duration::from_millis(400)));
+        assert_eq!(cfg2.extraction_budget, Duration::from_millis(300));
+        // no deadline: the base budgets pass through untouched
+        let cfg3 = kernel_config(&base, None);
+        assert_eq!(cfg3.limits.time_limit, base.limits.time_limit);
+        assert_eq!(cfg3.extraction_budget, base.extraction_budget);
+    }
+}

@@ -10,19 +10,141 @@
 //! ```text
 //! accsat [--variant cse|cse+sat|cse+bulk|accsat] [-o OUT.c] INPUT.c
 //! accsat --stats INPUT.c            # print per-kernel optimizer stats
+//! accsat batch [--suite npb|spec|all] [--threads N] [--variant V]
+//!              [--deadline-ms D] [--extract-budget NODES] [--json OUT.json]
+//!              # full pipeline over a whole benchmark suite, in parallel
 //! ```
 
-use accsat::{optimize_program, Variant};
+use accsat::batch::{optimize_suite, ParallelConfig};
+use accsat::{optimize_program, SaturatorConfig, Variant};
 use accsat_ir::{parse_program, print_program};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: accsat [--variant cse|cse+sat|cse+bulk|accsat] [--stats] [-o OUT.c] INPUT.c");
+    eprintln!(
+        "usage: accsat [--variant cse|cse+sat|cse+bulk|accsat] [--stats] [-o OUT.c] INPUT.c\n\
+                accsat batch [--suite npb|spec|all] [--threads N] [--variant V]\n\
+         \x20            [--deadline-ms D] [--extract-budget NODES] [--json OUT.json]"
+    );
     ExitCode::from(2)
+}
+
+fn parse_variant(v: Option<&str>) -> Option<Variant> {
+    match v {
+        Some("cse") => Some(Variant::Cse),
+        Some("cse+sat") => Some(Variant::CseSat),
+        Some("cse+bulk") => Some(Variant::CseBulk),
+        Some("accsat") => Some(Variant::AccSat),
+        _ => None,
+    }
+}
+
+/// `accsat batch`: the parallel batch driver over a benchmark suite.
+fn batch_main(args: Vec<String>) -> ExitCode {
+    let mut suite = "npb".to_string();
+    let mut variant = Variant::AccSat;
+    let mut par = ParallelConfig::default();
+    let mut json: Option<String> = None;
+    let mut extract_budget: Option<u64> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => match it.next().as_deref() {
+                Some(s @ ("npb" | "spec" | "all")) => suite = s.to_string(),
+                other => {
+                    eprintln!("unknown suite: {other:?}");
+                    return usage();
+                }
+            },
+            "--variant" => match parse_variant(it.next().as_deref()) {
+                Some(v) => variant = v,
+                None => {
+                    eprintln!("unknown variant");
+                    return usage();
+                }
+            },
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => par.threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return usage();
+                }
+            },
+            "--deadline-ms" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => par.kernel_deadline = Some(Duration::from_millis(ms)),
+                None => {
+                    eprintln!("--deadline-ms needs an integer");
+                    return usage();
+                }
+            },
+            "--extract-budget" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n > 0 => extract_budget = Some(n),
+                _ => {
+                    eprintln!("--extract-budget needs a positive node count");
+                    return usage();
+                }
+            },
+            "--json" => match it.next() {
+                Some(path) => json = Some(path),
+                None => {
+                    eprintln!("--json needs an output path");
+                    return usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown batch flag: {arg}");
+                return usage();
+            }
+        }
+    }
+
+    let benches = match suite.as_str() {
+        "npb" => accsat_benchmarks::npb_benchmarks(),
+        "spec" => accsat_benchmarks::spec_benchmarks(),
+        _ => accsat_benchmarks::all_benchmarks(),
+    };
+    let mut config = SaturatorConfig::default();
+    if let Some(n) = extract_budget {
+        config.extraction_node_budget = n;
+    }
+    let report = match optimize_suite(&benches, variant, &config, &par) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("accsat batch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", report.render_table());
+    let wall = report.wall.as_secs_f64();
+    let work = report.sequential_work().as_secs_f64();
+    println!(
+        "{} kernels, total cost {}, wall {:.2} s on {} threads \
+         (Σ kernel time {:.2} s, {:.2}x)",
+        report.total_kernels(),
+        report.total_cost(),
+        wall,
+        report.threads,
+        work,
+        if wall > 0.0 { work / wall } else { 1.0 },
+    );
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("accsat batch: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("batch") {
+        return batch_main(args.into_iter().skip(1).collect());
+    }
     let mut variant = Variant::AccSat;
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
@@ -32,15 +154,9 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--variant" => {
-                let v = match it.next().as_deref() {
-                    Some("cse") => Variant::Cse,
-                    Some("cse+sat") => Variant::CseSat,
-                    Some("cse+bulk") => Variant::CseBulk,
-                    Some("accsat") => Variant::AccSat,
-                    other => {
-                        eprintln!("unknown variant: {other:?}");
-                        return usage();
-                    }
+                let Some(v) = parse_variant(it.next().as_deref()) else {
+                    eprintln!("unknown variant");
+                    return usage();
                 };
                 variant = v;
             }

@@ -35,10 +35,12 @@
 //! [`Variant::Cse`], [`Variant::CseSat`], [`Variant::CseBulk`] and
 //! [`Variant::AccSat`]; [`Variant::Original`] passes code through untouched.
 
+pub mod batch;
 pub mod evaluate;
 pub mod pipeline;
 pub mod report;
 
+pub use batch::{optimize_suite, BatchReport, BenchmarkRecord, FunctionRecord, ParallelConfig};
 pub use evaluate::{evaluate_benchmark, speedup, BenchmarkResult, KernelResult};
 pub use pipeline::{optimize_function, optimize_program, OptStats, SaturatorConfig, Variant};
 pub use report::{format_speedup_row, render_table};

@@ -2,9 +2,10 @@
 //! code generation, per innermost parallel loop.
 
 use accsat_codegen::{generate, CodegenOptions, TypeMap};
-use accsat_egraph::{all_rules, RuleStats, Runner, RunnerLimits, StopReason};
-use accsat_extract::{extract, CostModel};
+use accsat_egraph::{all_rules, Rewrite, RuleStats, Runner, RunnerLimits, StopReason};
+use accsat_extract::{extract_portfolio, CostModel, PortfolioConfig};
 use accsat_ir::{Block, Function, Program, Stmt};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The generated-code variants of the evaluation (§VIII).
@@ -56,17 +57,38 @@ impl Variant {
 /// the in-repo benchmarks, which are far smaller than full NPB kernels).
 #[derive(Debug, Clone)]
 pub struct SaturatorConfig {
+    /// Saturation limits (e-nodes / iterations / wall clock).
     pub limits: RunnerLimits,
+    /// Wall-clock safety cap per extraction (the paper's 30 s limit,
+    /// scaled down). The deterministic budget is `extraction_node_budget`.
     pub extraction_budget: Duration,
+    /// Width of the extraction portfolio: how many branch-and-bound
+    /// strategies race per kernel. `1` disables the racing threads.
+    pub extraction_threads: usize,
+    /// Deterministic per-strategy search budget in explored nodes; this,
+    /// not the wall clock, is what normally ends a hard extraction, so
+    /// results are reproducible run to run.
+    pub extraction_node_budget: u64,
+    /// Op-cost model for extraction (paper §V-B values by default).
     pub cost_model: CostModel,
+    /// Compiled rewrite rules. Shared (`Arc`) so batch drivers compile the
+    /// rule set once per process instead of once per kernel.
+    pub rules: Arc<Vec<Rewrite>>,
 }
 
 impl Default for SaturatorConfig {
     fn default() -> SaturatorConfig {
         SaturatorConfig {
             limits: RunnerLimits::default(),
-            extraction_budget: Duration::from_millis(500),
+            // the *node* budget is sized to finish well inside the wall
+            // valve (~0.1 s per strategy in release on the largest in-repo
+            // kernels), so runs are reproducible: the deterministic limit
+            // binds, the clock does not
+            extraction_budget: Duration::from_secs(5),
+            extraction_threads: 2,
+            extraction_node_budget: 60_000,
             cost_model: CostModel::paper(),
+            rules: Arc::new(all_rules()),
         }
     }
 }
@@ -92,6 +114,12 @@ pub struct OptStats {
     pub rule_stats: Vec<RuleStats>,
     /// Total extracted DAG cost under the paper cost model.
     pub extracted_cost: u64,
+    /// Did the extraction portfolio prove its selection optimal?
+    pub extraction_proven: bool,
+    /// Which portfolio member produced the winning selection.
+    pub extraction_winner: &'static str,
+    /// Branch-and-bound nodes explored across all portfolio members.
+    pub extraction_explored: u64,
 }
 
 /// Optimize every kernel (innermost parallel loop) of a function.
@@ -163,7 +191,7 @@ pub fn optimize_kernel_body(
     // 2. equality saturation (step ②)
     let t1 = Instant::now();
     let (iters, stop, rule_stats) = if variant.saturates() {
-        let runner = Runner::new(all_rules()).with_limits(config.limits);
+        let runner = Runner::from_shared(config.rules.clone()).with_limits(config.limits);
         let report = runner.run(&mut kernel.egraph);
         (report.iterations.len(), Some(report.stop_reason), report.rule_stats)
     } else {
@@ -172,13 +200,20 @@ pub fn optimize_kernel_body(
     };
     let sat_time = t1.elapsed();
 
-    // 3. extraction (LP objective, step ② part II)
+    // 3. extraction (LP objective, step ② part II) — a portfolio of
+    // branch-and-bound strategies racing under a deterministic budget
     let t2 = Instant::now();
     let roots = kernel.extraction_roots();
     let cm = config.cost_model;
-    let selection = extract(&kernel.egraph, &roots, &cm, config.extraction_budget);
-    let cost = selection.dag_cost(&kernel.egraph, &cm, &roots);
+    let portfolio_cfg = PortfolioConfig {
+        threads: config.extraction_threads,
+        node_budget: config.extraction_node_budget,
+        deadline: config.extraction_budget,
+    };
+    let extraction = extract_portfolio(&kernel.egraph, &roots, &cm, &portfolio_cfg);
+    let cost = extraction.cost;
     let extract_time = t2.elapsed();
+    let selection = extraction.selection;
 
     // 4. code generation (step ③)
     let t3 = Instant::now();
@@ -198,6 +233,9 @@ pub fn optimize_kernel_body(
             stop_reason: stop,
             rule_stats,
             extracted_cost: cost,
+            extraction_proven: extraction.proven_optimal,
+            extraction_winner: extraction.winner,
+            extraction_explored: extraction.workers.iter().map(|w| w.explored).sum(),
         },
     ))
 }

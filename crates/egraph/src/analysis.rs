@@ -13,7 +13,9 @@ use crate::node::{Node, Op};
 /// A compile-time constant value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConstValue {
+    /// An integer constant.
     Int(i64),
+    /// A floating-point constant.
     Float(f64),
 }
 

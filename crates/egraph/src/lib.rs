@@ -25,6 +25,8 @@
 //! * [`rules`] — Table I of the paper: FMA introduction, commutativity,
 //!   associativity, plus constant folding.
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod egraph;
 pub mod fxhash;
@@ -49,3 +51,15 @@ pub use runner::{
     StopReason,
 };
 pub use unionfind::UnionFind;
+
+// Compile-time guarantee that saturation state crosses threads: the batch
+// driver moves e-graphs onto worker threads and shares one compiled rule
+// set (`Arc<Vec<Rewrite>>`) between them. A field gaining interior
+// mutability or a non-Send payload fails here, not at a distant spawn site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EGraph>();
+    assert_send_sync::<Rewrite>();
+    assert_send_sync::<Runner>();
+    assert_send_sync::<RunnerReport>();
+};

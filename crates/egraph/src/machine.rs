@@ -28,13 +28,20 @@ pub type Reg = u32;
 
 /// How many variable bindings a [`VarSubst`] stores inline before spilling
 /// to the heap. Every Table I pattern has at most three variables.
-const SUBST_INLINE: usize = 4;
+pub const SUBST_INLINE: usize = 4;
 
 /// A substitution produced by the compiled matcher: variable index →
 /// e-class id, stored small-vec-style (inline up to [`SUBST_INLINE`]).
 #[derive(Debug, Clone)]
 pub enum VarSubst {
-    Inline { len: u8, buf: [Id; SUBST_INLINE] },
+    /// Up to [`SUBST_INLINE`] bindings stored inline.
+    Inline {
+        /// Number of live bindings in `buf`.
+        len: u8,
+        /// Binding storage, `buf[..len]` valid.
+        buf: [Id; SUBST_INLINE],
+    },
+    /// Spilled storage for patterns with many variables.
     Heap(Vec<Id>),
 }
 
@@ -139,10 +146,24 @@ pub enum Inst {
     /// with `arity` children; for each, write the (canonical) children into
     /// registers `out .. out + arity` and continue. This is the backtracking
     /// choice point.
-    Bind { reg: Reg, op: Op, arity: u32, out: Reg },
+    Bind {
+        /// Register holding the class to enumerate.
+        reg: Reg,
+        /// Required head operator.
+        op: Op,
+        /// Required child count.
+        arity: u32,
+        /// First output register for the children.
+        out: Reg,
+    },
     /// Require the classes in registers `a` and `b` to be equal (a repeated
     /// — non-linear — pattern variable).
-    Compare { a: Reg, b: Reg },
+    Compare {
+        /// Left register.
+        a: Reg,
+        /// Right register.
+        b: Reg,
+    },
 }
 
 /// A pattern compiled to a linear program plus its variable table.
@@ -321,8 +342,15 @@ impl Program {
 /// construction, so instantiation never does a string lookup.
 #[derive(Debug, Clone)]
 pub enum RhsNode {
+    /// A variable of the left-hand side, inserted by binding.
     Var(VarId),
-    Apply { op: Op, children: Vec<RhsNode> },
+    /// An operator applied to instantiated children.
+    Apply {
+        /// Head operator of the node to insert.
+        op: Op,
+        /// Templates for the child classes.
+        children: Vec<RhsNode>,
+    },
 }
 
 impl RhsNode {

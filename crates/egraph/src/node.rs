@@ -48,24 +48,39 @@ pub enum Op {
     LoopCond(String),
 
     // -- arithmetic (children in node.children) --
+    /// Addition.
     Add,
+    /// Subtraction.
     Sub,
+    /// Multiplication.
     Mul,
+    /// Division (a heavy op in the cost model).
     Div,
+    /// Modulo (a heavy op in the cost model).
     Mod,
+    /// Arithmetic negation.
     Neg,
     /// Fused multiply-add: `Fma(a, b, c) = a + b * c` (paper Table I).
     Fma,
 
     // -- comparisons / logic (appear in conditions feeding φ nodes) --
+    /// Less-than comparison.
     Lt,
+    /// Less-or-equal comparison.
     Le,
+    /// Greater-than comparison.
     Gt,
+    /// Greater-or-equal comparison.
     Ge,
+    /// Equality comparison.
     Eq,
+    /// Inequality comparison.
     Ne,
+    /// Logical and.
     And,
+    /// Logical or.
     Or,
+    /// Logical not.
     Not,
 
     /// Branch φ / ternary: `Select(cond, then, else)`.
@@ -79,8 +94,9 @@ pub enum Op {
     Store,
     /// Opaque function call by name: `Call(args…)`.
     Call(String),
-    /// Numeric cast (cost-free conversion in the model).
+    /// Cast to integer (a cost-free register move in the model).
     CastInt,
+    /// Cast to floating point (cost-free, like [`Op::CastInt`]).
     CastFloat,
 }
 
@@ -190,7 +206,9 @@ impl Op {
 /// An e-node: an operator applied to e-class children.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Node {
+    /// Head operator.
     pub op: Op,
+    /// Child e-classes, in operator order.
     pub children: Vec<Id>,
 }
 

@@ -15,12 +15,18 @@ pub enum PatternNode {
     /// `?x` — matches any e-class, bound in the substitution.
     Var(String),
     /// Concrete operator applied to sub-patterns.
-    Apply { op: Op, children: Vec<PatternNode> },
+    Apply {
+        /// The operator that must head the matched e-node.
+        op: Op,
+        /// Sub-patterns matched against the e-node's children.
+        children: Vec<PatternNode>,
+    },
 }
 
 /// A rewrite pattern (tree of [`PatternNode`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pattern {
+    /// Root node of the pattern tree.
     pub root: PatternNode,
 }
 

@@ -23,16 +23,22 @@ pub type Condition = fn(&EGraph, &Subst) -> bool;
 /// bindings (indexed by the rule's var table).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RuleMatch {
+    /// The e-class the pattern root matched.
     pub class: Id,
+    /// Variable bindings, indexed by the rule's var table.
     pub subst: VarSubst,
 }
 
 /// A rewrite rule `lhs → rhs`, with both sides compiled.
 #[derive(Clone)]
 pub struct Rewrite {
+    /// Rule name (Table I naming, e.g. `FMA1`, `COMM-ADD`).
     pub name: String,
+    /// Left-hand side — the pattern searched for.
     pub lhs: Pattern,
+    /// Right-hand side — the pattern instantiated on a match.
     pub rhs: Pattern,
+    /// Optional side condition filtering matches before application.
     pub condition: Option<Condition>,
     /// Compiled left-hand side (pattern VM program + interned vars).
     program: Program,

@@ -15,6 +15,7 @@ use crate::fxhash::FxHashSet;
 use crate::machine::VarSubst;
 use crate::node::Id;
 use crate::rewrite::{Rewrite, RuleMatch};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why the runner stopped.
@@ -33,8 +34,11 @@ pub enum StopReason {
 /// Runner limits. Defaults mirror the paper's §VII configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RunnerLimits {
+    /// Stop once the e-graph holds this many e-nodes (paper: 10 000).
     pub node_limit: usize,
+    /// Maximum saturation iterations (paper: 10).
     pub iter_limit: usize,
+    /// Wall-clock budget for the whole run (paper: 10 s).
     pub time_limit: Duration,
 }
 
@@ -60,7 +64,9 @@ pub enum MatchEngine {
 /// `BackoffScheduler`).
 #[derive(Debug, Clone, Copy)]
 pub struct BackoffConfig {
+    /// Matches per iteration above which a rule is banned.
     pub match_limit: usize,
+    /// Iterations a first ban lasts (doubles per subsequent ban).
     pub ban_length: usize,
 }
 
@@ -78,13 +84,16 @@ pub struct IterationStats {
     /// Rule applications that changed the e-graph (deduplicated,
     /// canonicalized — each counted union is real work).
     pub applied: usize,
+    /// E-nodes ever added, as of the end of the iteration.
     pub total_nodes: usize,
+    /// Live e-classes at the end of the iteration.
     pub num_classes: usize,
 }
 
 /// Cumulative per-rule statistics over a saturation run.
 #[derive(Debug, Clone, Default)]
 pub struct RuleStats {
+    /// Rule name.
     pub name: String,
     /// Substitutions yielded by search.
     pub matches: usize,
@@ -99,9 +108,13 @@ pub struct RuleStats {
 /// Result of a saturation run.
 #[derive(Debug, Clone)]
 pub struct RunnerReport {
+    /// Why the run stopped.
     pub stop_reason: StopReason,
+    /// Per-iteration statistics, in order.
     pub iterations: Vec<IterationStats>,
+    /// Cumulative per-rule statistics, in rule order.
     pub rule_stats: Vec<RuleStats>,
+    /// Total wall-clock time of the run.
     pub elapsed: Duration,
 }
 
@@ -158,8 +171,13 @@ struct RuleState {
 
 /// The equality-saturation runner.
 pub struct Runner {
+    /// Node / iteration / wall-clock limits (defaults mirror §VII).
     pub limits: RunnerLimits,
-    pub rules: Vec<Rewrite>,
+    /// The compiled rule set. Behind an [`Arc`] so a batch driver can
+    /// compile the rules once and share them across every kernel and
+    /// worker thread ([`Runner::from_shared`]).
+    pub rules: Arc<Vec<Rewrite>>,
+    /// Which e-matching engine drives the search phase.
     pub engine: MatchEngine,
     /// `None` disables the backoff scheduler (every rule runs every
     /// iteration, as in the seed).
@@ -170,6 +188,13 @@ impl Runner {
     /// New runner with the given rules, default (paper) limits, the
     /// compiled engine and the default backoff scheduler.
     pub fn new(rules: Vec<Rewrite>) -> Runner {
+        Runner::from_shared(Arc::new(rules))
+    }
+
+    /// New runner over an already-compiled shared rule set. Cloning the
+    /// `Arc` is free — this is the constructor the parallel batch driver
+    /// uses so rules are compiled once per process, not once per kernel.
+    pub fn from_shared(rules: Arc<Vec<Rewrite>>) -> Runner {
         Runner {
             limits: RunnerLimits::default(),
             rules,

@@ -3,168 +3,464 @@
 //!
 //! Objective (paper §IV-B): select one node per required e-class such that
 //! the sum of op costs over *distinct* selected classes is minimal. The
-//! search branches on the node choice of one undecided class at a time;
-//! the admissible lower bound adds, for every class that is already known
-//! to be required but undecided, the cheapest op cost any of its nodes
-//! could contribute. The greedy extraction provides the initial incumbent,
-//! so even an immediate timeout returns a sound selection — mirroring the
-//! paper's 30 s extraction time limit.
+//! search branches on the node choice of one undecided class at a time.
+//!
+//! Beyond the textbook search, three strengthenings keep the explored tree
+//! small (they are what lets the portfolio in [`crate::portfolio`] prove
+//! optimality on benchmark kernels within a deterministic budget):
+//!
+//! * **Dominated-node pruning** — inside one e-class, a node whose operator
+//!   cost and *set* of child classes are both no better than another node's
+//!   can never appear in an optimal DAG selection (DAG cost counts each
+//!   class once, so child multiplicity is irrelevant); such nodes are
+//!   dropped from the candidate lists before the search starts.
+//! * **Memoized per-class lower bounds** — for every class the *forced
+//!   children* (classes that are a child under every surviving candidate)
+//!   are precomputed once; whenever a class becomes required, the closure
+//!   of its forced children is charged into the admissible bound
+//!   immediately instead of one branching level at a time.
+//! * **Best-first class ordering** — the next class to branch on is chosen
+//!   by a deterministic heuristic ([`ClassOrder`]) rather than stack order;
+//!   most-constrained-first collapses large parts of the search into
+//!   forced moves.
+//!
+//! The greedy extraction provides the initial incumbent, so even an
+//! immediate stop returns a sound selection — mirroring the paper's 30 s
+//! extraction time limit. The search budget is primarily a *node count*
+//! ([`SearchOptions::node_budget`]), which makes results reproducible
+//! run-to-run; the wall-clock deadline is a safety valve on top.
 
 use crate::cost::CostModel;
 use crate::greedy::{class_costs, extract_greedy};
 use crate::selection::Selection;
-use accsat_egraph::{EGraph, Id, Node};
-use std::collections::HashMap;
+use accsat_egraph::{EGraph, FxHashMap, FxHashSet, Id, Node};
 use std::time::{Duration, Instant};
+
+/// Strategy for picking the next undecided e-class to branch on. All
+/// orders are deterministic: ties fall back to op cost and then to the
+/// class id, never to hash or timing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassOrder {
+    /// Most-constrained first: fewest surviving candidate nodes, breaking
+    /// ties toward the larger minimum op cost, then the smaller id.
+    BestFirst,
+    /// Largest minimum op cost first (decide expensive classes early so
+    /// the bound tightens fast), ties toward fewer candidates, smaller id.
+    HeaviestFirst,
+    /// Plain stack order — the classic DFS; kept as a portfolio member
+    /// and as the behavior of earlier revisions.
+    Lifo,
+}
+
+/// Tunables of one branch-and-bound search. The extraction portfolio
+/// diversifies over these; [`SearchOptions::default`] is the configuration
+/// used by the plain [`extract_exact`] entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// How to pick the next class to branch on.
+    pub order: ClassOrder,
+    /// Candidate-node ordering inside a class: `false` tries cheapest tree
+    /// cost first (good incumbents early), `true` tries nodes with the
+    /// fewest distinct children first (maximizes sharing).
+    pub prefer_shared: bool,
+    /// Maximum number of search-tree nodes to explore. This is the
+    /// *deterministic* budget: two runs with the same budget explore the
+    /// same tree and return byte-identical selections.
+    pub node_budget: u64,
+    /// Wall-clock safety valve on top of `node_budget`. Generous by
+    /// default so that, at benchmark sizes, only the node budget binds.
+    pub deadline: Duration,
+}
+
+impl Default for SearchOptions {
+    fn default() -> SearchOptions {
+        SearchOptions {
+            order: ClassOrder::BestFirst,
+            prefer_shared: false,
+            node_budget: 2_000_000,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
 
 /// Result of exact extraction.
 #[derive(Debug, Clone)]
 pub struct ExactResult {
+    /// The best selection found (the greedy incumbent when the budget
+    /// expired before any improvement).
     pub selection: Selection,
     /// Total DAG cost of the returned selection.
     pub cost: u64,
     /// `true` when the search completed (the result is provably optimal);
-    /// `false` when the time budget expired and the incumbent is returned.
+    /// `false` when a budget expired and the incumbent is returned.
     pub proven_optimal: bool,
     /// Number of branch-and-bound nodes explored.
     pub explored: u64,
 }
 
-/// Exact DAG-cost extraction under a time budget.
+/// Exact DAG-cost extraction under a time budget, with the default search
+/// options (best-first ordering, cheapest-tree-first candidates).
 pub fn extract_exact(eg: &EGraph, roots: &[Id], cm: &CostModel, budget: Duration) -> ExactResult {
-    let incumbent = extract_greedy(eg, roots, cm);
-    let incumbent_cost = incumbent.dag_cost(eg, cm, roots);
-    let tree_costs = class_costs(eg, cm);
-
-    // cheapest op cost any node of a class could contribute (admissible)
-    let mut min_op: HashMap<Id, u64> = HashMap::new();
-    for (id, class) in eg.classes() {
-        let m = class.nodes.iter().map(|n| cm.op_cost(&n.op)).min().unwrap_or(0);
-        min_op.insert(id, m);
-    }
-
-    let mut search = Search {
-        eg,
-        cm,
-        tree_costs: &tree_costs,
-        min_op: &min_op,
-        best: incumbent.clone(),
-        best_cost: incumbent_cost,
-        deadline: Instant::now() + budget,
-        explored: 0,
-        timed_out: false,
-    };
-
-    let mut pending: Vec<Id> = roots.iter().map(|&r| eg.find(r)).collect();
-    pending.sort();
-    pending.dedup();
-    let bound: u64 = pending.iter().map(|id| min_op[id]).sum();
-    let mut chosen: HashMap<Id, Node> = HashMap::new();
-    search.dfs(&mut pending, &mut chosen, 0, bound);
-
-    let proven = !search.timed_out;
-    let best_cost = search.best_cost;
-    let explored = search.explored;
-    ExactResult { selection: search.best, cost: best_cost, proven_optimal: proven, explored }
+    let opts = SearchOptions { deadline: budget, ..SearchOptions::default() };
+    extract_exact_with(eg, roots, cm, &opts)
 }
 
-struct Search<'a> {
+/// Exact DAG-cost extraction with explicit [`SearchOptions`].
+pub fn extract_exact_with(
+    eg: &EGraph,
+    roots: &[Id],
+    cm: &CostModel,
+    opts: &SearchOptions,
+) -> ExactResult {
+    let incumbent = extract_greedy(eg, roots, cm);
+    let incumbent_cost = incumbent.dag_cost(eg, cm, roots);
+    let cx = SearchContext::build(eg, cm);
+    extract_exact_in(&cx, roots, &incumbent, incumbent_cost, opts)
+}
+
+/// Exact DAG-cost extraction over a prebuilt [`SearchContext`] and greedy
+/// incumbent — the portfolio's entry point: the context and incumbent are
+/// computed once and shared by every racing worker.
+pub fn extract_exact_in(
+    cx: &SearchContext<'_>,
+    roots: &[Id],
+    incumbent: &Selection,
+    incumbent_cost: u64,
+    opts: &SearchOptions,
+) -> ExactResult {
+    let eg = cx.eg;
+    // one deterministic candidate order per class, computed once per
+    // search instead of once per explored node (the keys read only the
+    // immutable context)
+    let orders: Vec<Vec<u32>> = cx
+        .cands
+        .iter()
+        .map(|cands| {
+            let mut order: Vec<u32> = (0..cands.len() as u32).collect();
+            if opts.prefer_shared {
+                order.sort_by_key(|&i| {
+                    let c = &cands[i as usize];
+                    (c.child_set.len(), c.tree_cost, i)
+                });
+            } else {
+                order.sort_by_key(|&i| (cands[i as usize].tree_cost, i));
+            }
+            order
+        })
+        .collect();
+
+    let mut search = Search {
+        cx,
+        orders,
+        opts: *opts,
+        best: incumbent.clone(),
+        best_cost: incumbent_cost,
+        deadline: Instant::now() + opts.deadline,
+        explored: 0,
+        stopped: false,
+        counted: FxHashSet::default(),
+        queued: FxHashSet::default(),
+    };
+
+    // seed the required set with the roots and their forced closures
+    let mut pending: Vec<Id> = Vec::new();
+    let mut bound = 0u64;
+    for &r in roots {
+        let r = eg.find(r);
+        if search.queued.insert(r) {
+            pending.push(r);
+        }
+        bound += search.charge_required(r, &mut Vec::new());
+    }
+    let mut chosen: FxHashMap<Id, Node> = FxHashMap::default();
+    search.dfs(&mut pending, &mut chosen, 0, bound);
+
+    let proven = !search.stopped;
+    let best_cost = search.best_cost;
+    let explored = search.explored;
+    // complete the minimal search selection to a total cover: classes
+    // outside the roots' closure keep the greedy choice (cost-neutral for
+    // the roots, and consumers materialize such classes too)
+    let mut selection = search.best;
+    selection.fill_from(incumbent);
+    ExactResult { selection, cost: best_cost, proven_optimal: proven, explored }
+}
+
+/// Immutable per-extraction tables shared by every search of a portfolio:
+/// pruned candidate lists, per-class minimum op costs, and the forced
+/// children used by the memoized lower bound. Public so tests and tools
+/// can inspect what the pruning and bounding phases computed.
+pub struct SearchContext<'a> {
     eg: &'a EGraph,
-    cm: &'a CostModel,
-    tree_costs: &'a [Option<u64>],
-    min_op: &'a HashMap<Id, u64>,
+    /// Cheapest op cost over the *surviving* candidates of each class
+    /// (indexed by canonical class index).
+    min_op: Vec<u64>,
+    /// Candidate nodes per class after the finite-cost filter and
+    /// dominated-node pruning, in a deterministic order.
+    cands: Vec<Vec<Cand>>,
+    /// Classes that are a child of *every* surviving candidate of a class:
+    /// required whenever the class is required (the memoized bound).
+    forced: Vec<Vec<Id>>,
+}
+
+/// One surviving candidate: the node plus its precomputed op cost, tree
+/// cost and deduplicated canonical child set.
+#[derive(Debug, Clone)]
+struct Cand {
+    node: Node,
+    op_cost: u64,
+    tree_cost: u64,
+    /// Canonical child classes, sorted and deduplicated.
+    child_set: Vec<Id>,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Precompute the candidate lists (finite-cost filter + dominated-node
+    /// pruning), per-class minimum op costs and forced children for `eg`.
+    pub fn build(eg: &'a EGraph, cm: &'a CostModel) -> SearchContext<'a> {
+        let tree_costs = class_costs(eg, cm);
+        let n = tree_costs.len();
+        let mut min_op = vec![0u64; n];
+        let mut cands: Vec<Vec<Cand>> = vec![Vec::new(); n];
+        let mut forced: Vec<Vec<Id>> = vec![Vec::new(); n];
+
+        for (id, class) in eg.classes() {
+            // finite-cost filter: a node whose child has no finite tree
+            // cost can never appear in a well-founded selection
+            let mut list: Vec<Cand> = class
+                .nodes
+                .iter()
+                .filter_map(|node| {
+                    let mut tree = cm.op_cost(&node.op);
+                    for &c in &node.children {
+                        tree = tree.saturating_add(tree_costs[eg.find(c).index()]?);
+                    }
+                    let mut child_set: Vec<Id> =
+                        node.children.iter().map(|&c| eg.find(c)).collect();
+                    child_set.sort_unstable();
+                    child_set.dedup();
+                    Some(Cand {
+                        node: node.clone(),
+                        op_cost: cm.op_cost(&node.op),
+                        tree_cost: tree,
+                        child_set,
+                    })
+                })
+                .collect();
+            // deterministic base order: cheap ops first, few children, Node
+            list.sort_by(|a, b| {
+                (a.op_cost, a.child_set.len(), &a.node).cmp(&(
+                    b.op_cost,
+                    b.child_set.len(),
+                    &b.node,
+                ))
+            });
+            // dominated-node pruning: drop a candidate if an earlier
+            // survivor has op cost ≤ and a child set that is a subset of
+            // its own — the survivor can replace it in any selection
+            // without raising the DAG cost or losing feasibility.
+            let mut survivors: Vec<Cand> = Vec::with_capacity(list.len());
+            'cand: for c in list {
+                for s in &survivors {
+                    if s.op_cost <= c.op_cost && subset(&s.child_set, &c.child_set) {
+                        continue 'cand;
+                    }
+                }
+                survivors.push(c);
+            }
+            min_op[id.index()] = survivors.iter().map(|c| c.op_cost).min().unwrap_or(0);
+            // forced children: in the intersection of every candidate's
+            // child set, hence selected under any choice for this class
+            if let Some((first, rest)) = survivors.split_first() {
+                let mut inter = first.child_set.clone();
+                for c in rest {
+                    inter.retain(|id| c.child_set.binary_search(id).is_ok());
+                }
+                forced[id.index()] = inter;
+            }
+            cands[id.index()] = survivors;
+        }
+
+        SearchContext { eg, min_op, cands, forced }
+    }
+
+    /// The surviving candidates of a class, in the deterministic base
+    /// order (test hook for the pruning logic).
+    pub fn candidates(&self, id: Id) -> Vec<Node> {
+        self.cands[self.eg.find(id).index()].iter().map(|c| c.node.clone()).collect()
+    }
+
+    /// Admissible lower bound on the cost of any selection covering
+    /// `roots`: the sum of minimum op costs over the forced closure (test
+    /// hook for admissibility checks).
+    pub fn root_lower_bound(&self, roots: &[Id]) -> u64 {
+        let mut seen = FxHashSet::default();
+        let mut bound = 0u64;
+        let mut stack: Vec<Id> = roots.iter().map(|&r| self.eg.find(r)).collect();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            bound += self.min_op[id.index()];
+            stack.extend(self.forced[id.index()].iter().copied());
+        }
+        bound
+    }
+}
+
+/// Is sorted `a` a subset of sorted `b`?
+fn subset(a: &[Id], b: &[Id]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+struct Search<'a, 'b> {
+    cx: &'b SearchContext<'a>,
+    /// Candidate visit order per class, precomputed once per search from
+    /// the immutable context (`SearchOptions::prefer_shared` decides the
+    /// key).
+    orders: Vec<Vec<u32>>,
+    opts: SearchOptions,
     best: Selection,
     best_cost: u64,
     deadline: Instant,
     explored: u64,
-    timed_out: bool,
+    stopped: bool,
+    /// Classes whose minimum op cost is already charged into the bound
+    /// (required-closure membership).
+    counted: FxHashSet<Id>,
+    /// Classes that have ever been put on `pending` on the current branch
+    /// (decided classes stay in this set while their subtree is explored).
+    queued: FxHashSet<Id>,
 }
 
-impl<'a> Search<'a> {
+impl<'a, 'b> Search<'a, 'b> {
+    /// Charge `id` and its forced closure into the bound; newly counted
+    /// classes are recorded in `trail` for backtracking. Returns the bound
+    /// increase.
+    fn charge_required(&mut self, id: Id, trail: &mut Vec<Id>) -> u64 {
+        let mut added = 0u64;
+        let mut stack = vec![id];
+        while let Some(d) = stack.pop() {
+            if !self.counted.insert(d) {
+                continue;
+            }
+            trail.push(d);
+            added += self.cx.min_op[d.index()];
+            stack.extend(self.cx.forced[d.index()].iter().copied());
+        }
+        added
+    }
+
+    /// Pick the index in `pending` of the next class to branch on.
+    fn pick(&self, pending: &[Id]) -> usize {
+        match self.opts.order {
+            ClassOrder::Lifo => pending.len() - 1,
+            ClassOrder::BestFirst => {
+                let key = |id: Id| {
+                    (self.cx.cands[id.index()].len(), u64::MAX - self.cx.min_op[id.index()], id)
+                };
+                (0..pending.len()).min_by_key(|&i| key(pending[i])).expect("pending non-empty")
+            }
+            ClassOrder::HeaviestFirst => {
+                let key = |id: Id| {
+                    (u64::MAX - self.cx.min_op[id.index()], self.cx.cands[id.index()].len(), id)
+                };
+                (0..pending.len()).min_by_key(|&i| key(pending[i])).expect("pending non-empty")
+            }
+        }
+    }
+
     /// `pending`: required-but-undecided classes. `cost`: op costs of
-    /// decided classes. `bound_extra`: Σ min_op over pending.
+    /// decided classes. `bound_extra`: Σ min_op over counted-but-undecided
+    /// classes (pending plus their forced closures).
     fn dfs(
         &mut self,
         pending: &mut Vec<Id>,
-        chosen: &mut HashMap<Id, Node>,
+        chosen: &mut FxHashMap<Id, Node>,
         cost: u64,
         bound_extra: u64,
     ) {
         self.explored += 1;
-        if self.explored.is_multiple_of(256) && Instant::now() >= self.deadline {
-            self.timed_out = true;
+        if self.explored >= self.opts.node_budget
+            || (self.explored.is_multiple_of(256) && Instant::now() >= self.deadline)
+        {
+            self.stopped = true;
         }
-        if self.timed_out || cost + bound_extra >= self.best_cost {
+        if self.stopped || cost + bound_extra >= self.best_cost {
             return;
         }
-        // find the next undecided class
-        let id = loop {
-            match pending.pop() {
-                None => {
-                    // complete selection: record as new incumbent
-                    if cost < self.best_cost {
-                        self.best_cost = cost;
-                        let mut sel = Selection::new();
-                        for (id, n) in chosen.iter() {
-                            sel.choose(self.eg, *id, n.clone());
-                        }
-                        self.best = sel;
-                    }
-                    return;
+        if pending.is_empty() {
+            // complete selection: record as new incumbent
+            if cost < self.best_cost {
+                self.best_cost = cost;
+                let mut sel = Selection::new();
+                for (id, n) in chosen.iter() {
+                    sel.choose(self.cx.eg, *id, n.clone());
                 }
-                Some(id) => {
-                    if !chosen.contains_key(&id) {
-                        break id;
-                    }
-                    // already decided: drop it (its min_op was removed when
-                    // it was decided, not when queued again)
-                }
+                self.best = sel;
             }
-        };
-        let bound_extra = bound_extra - self.min_op[&id];
+            return;
+        }
+        let ix = self.pick(pending);
+        let id = pending.swap_remove(ix);
+        let bound_extra = bound_extra - self.cx.min_op[id.index()];
 
-        // candidate nodes, cheapest tree cost first for good incumbents
-        let class = self.eg.class(id);
-        let mut cands: Vec<&Node> = class
-            .nodes
-            .iter()
-            .filter(|n| {
-                n.children.iter().all(|&c| self.tree_costs[self.eg.find(c).index()].is_some())
-            })
-            .collect();
-        cands.sort_by_key(|n| {
-            let kids: u64 = n
-                .children
-                .iter()
-                .map(|&c| self.tree_costs[self.eg.find(c).index()].unwrap_or(u64::MAX / 4))
-                .sum();
-            self.cm.op_cost(&n.op).saturating_add(kids)
-        });
-
-        for node in cands {
+        // candidate order: precomputed per class (cheapest tree first by
+        // default, or fewest distinct children first to maximize sharing)
+        for k in 0..self.orders[id.index()].len() {
+            let ci = self.orders[id.index()][k] as usize;
+            let (node, node_cost, child_set) = {
+                let cand = &self.cx.cands[id.index()][ci];
+                (cand.node.clone(), cand.op_cost, cand.child_set.clone())
+            };
             // acyclicity: a selected DAG must be well-founded
-            let partial = PartialSel { chosen };
-            if partial.would_cycle(self.eg, id, node) {
+            if would_cycle(self.cx.eg, chosen, id, &node) {
                 continue;
             }
-            let node_cost = self.cm.op_cost(&node.op);
-            // queue children that are not yet decided or pending
-            let mut added: Vec<Id> = Vec::new();
+            // queue children that are not yet decided or pending, and
+            // charge newly required classes (with their forced closures)
+            // into the bound
+            let mut queued_trail: Vec<Id> = Vec::new();
+            let mut counted_trail: Vec<Id> = Vec::new();
             let mut extra = bound_extra;
-            for &c in &node.children {
-                let c = self.eg.find(c);
-                if !chosen.contains_key(&c) && !pending.contains(&c) && !added.contains(&c) {
-                    added.push(c);
-                    extra += self.min_op[&c];
+            for &c in &child_set {
+                if self.queued.insert(c) {
+                    queued_trail.push(c);
                 }
+                extra += self.charge_required(c, &mut counted_trail);
             }
-            chosen.insert(id, node.clone());
-            let before_len = pending.len();
-            pending.extend(added.iter().copied());
+            chosen.insert(id, node);
+            pending.extend(queued_trail.iter().copied());
             self.dfs(pending, chosen, cost + node_cost, extra);
-            pending.truncate(before_len);
+            // a recursive call preserves pending as a *set* but may permute
+            // it (classes are picked by swap_remove and re-pushed at frame
+            // end), so the children must be removed by value — truncating
+            // to the old length would drop arbitrary survivors instead
+            for q in queued_trail {
+                let pos =
+                    pending.iter().rposition(|&x| x == q).expect("queued child still pending");
+                pending.swap_remove(pos);
+                self.queued.remove(&q);
+            }
             chosen.remove(&id);
-            if self.timed_out {
+            for c in counted_trail {
+                self.counted.remove(&c);
+            }
+            if self.stopped {
                 break;
             }
         }
@@ -172,29 +468,24 @@ impl<'a> Search<'a> {
     }
 }
 
-/// Cycle check over a partial choice map (cheaper than building a Selection).
-struct PartialSel<'a> {
-    chosen: &'a HashMap<Id, Node>,
-}
-
-impl<'a> PartialSel<'a> {
-    fn would_cycle(&self, eg: &EGraph, id: Id, node: &Node) -> bool {
-        let target = eg.find(id);
-        let mut stack: Vec<Id> = node.children.iter().map(|&c| eg.find(c)).collect();
-        let mut seen = std::collections::HashSet::new();
-        while let Some(c) = stack.pop() {
-            if c == target {
-                return true;
-            }
-            if !seen.insert(c) {
-                continue;
-            }
-            if let Some(n) = self.chosen.get(&c) {
-                stack.extend(n.children.iter().map(|&k| eg.find(k)));
-            }
+/// Cycle check over a partial choice map (cheaper than building a
+/// [`Selection`]).
+fn would_cycle(eg: &EGraph, chosen: &FxHashMap<Id, Node>, id: Id, node: &Node) -> bool {
+    let target = eg.find(id);
+    let mut stack: Vec<Id> = node.children.iter().map(|&c| eg.find(c)).collect();
+    let mut seen = FxHashSet::default();
+    while let Some(c) = stack.pop() {
+        if c == target {
+            return true;
         }
-        false
+        if !seen.insert(c) {
+            continue;
+        }
+        if let Some(n) = chosen.get(&c) {
+            stack.extend(n.children.iter().map(|&k| eg.find(k)));
+        }
     }
+    false
 }
 
 #[cfg(test)]
@@ -204,12 +495,6 @@ mod tests {
 
     #[test]
     fn exact_finds_sharing_optimum() {
-        // r's class has two nodes:
-        //   (a)  mul(h, h)      where h = a / b   (heavy 100)
-        //   (b)  add(p, q)      where p = a*b, q = b*a  — two muls
-        // Tree costs: (a) = 10 + 2*102 = 214 → greedy may pick (b) = 10+2*12=34?
-        // DAG costs:  (a) = 10 + 102 = 112 (h shared) vs (b) = 10+12+12=34.
-        // Make sharing matter the other way: roots r1 = h + x, r2 = h * y …
         let mut eg = EGraph::new();
         let a = eg.add(Node::sym("a"));
         let b = eg.add(Node::sym("b"));
@@ -225,11 +510,9 @@ mod tests {
 
     #[test]
     fn exact_prefers_shared_expensive_over_distinct_cheap() {
-        // class R = { add(h, h), add(m1, m2) } where h = a/b (100) shared,
-        // m1 = a*b, m2 = b*a distinct muls (10 each).
-        // Tree: add(h,h) = 10+204 = 214 vs add(m1,m2) = 10+24 = 34 → greedy picks muls.
-        // DAG: add(h,h) = 10+102 = 112 vs 34 → still muls. Flip heaviness:
-        // use a cost model where operation=200, heavy=10:
+        // class R = { add(h, h), add(m1, m2) } where h = a/b shared,
+        // m1 = a*b, m2 = b*a distinct muls. With operation=200, heavy=10
+        // the shared-div route wins as a DAG though it loses as a tree.
         let mut eg = EGraph::new();
         let a = eg.add(Node::sym("a"));
         let b = eg.add(Node::sym("b"));
@@ -267,19 +550,21 @@ mod tests {
     }
 
     #[test]
-    fn timeout_returns_incumbent() {
-        // zero budget: must return the greedy incumbent, unproven
+    fn budget_exhaustion_returns_incumbent() {
+        // a one-node budget stops before any complete selection: the
+        // greedy incumbent must come back, unproven
         let mut eg = EGraph::new();
         let a = eg.add(Node::sym("a"));
         let b = eg.add(Node::sym("b"));
         let s = eg.add(Node::new(Op::Add, vec![a, b]));
         Runner::new(all_rules()).run(&mut eg);
         let cm = CostModel::paper();
-        let res = extract_exact(&eg, &[s], &cm, Duration::from_millis(0));
-        // tiny graph may still finish before the first clock check; accept
-        // either, but the selection must be valid
+        let opts = SearchOptions { node_budget: 1, ..SearchOptions::default() };
+        let res = extract_exact_with(&eg, &[s], &cm, &opts);
+        assert!(!res.proven_optimal);
         assert!(res.selection.get(&eg, s).is_some());
-        let _ = res.selection.dag_cost(&eg, &cm, &[s]);
+        let g = extract_greedy(&eg, &[s], &cm);
+        assert_eq!(res.cost, g.dag_cost(&eg, &cm, &[s]));
     }
 
     #[test]
@@ -300,5 +585,91 @@ mod tests {
         // add+2mul = 30+4 = 34
         assert!(res.cost <= 24, "expected an FMA extraction, got {}", res.cost);
         assert!(res.proven_optimal);
+    }
+
+    #[test]
+    fn all_orders_agree_on_optimum() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let h = eg.add(Node::new(Op::Div, vec![a, b]));
+        let r1 = eg.add(Node::new(Op::Add, vec![h, a]));
+        let r2 = eg.add(Node::new(Op::Mul, vec![h, b]));
+        Runner::new(all_rules()).run(&mut eg);
+        let cm = CostModel::paper();
+        let mut costs = Vec::new();
+        for order in [ClassOrder::BestFirst, ClassOrder::HeaviestFirst, ClassOrder::Lifo] {
+            for prefer_shared in [false, true] {
+                let opts = SearchOptions { order, prefer_shared, ..SearchOptions::default() };
+                let res = extract_exact_with(&eg, &[r1, r2], &cm, &opts);
+                assert!(res.proven_optimal, "{order:?}/{prefer_shared} must finish");
+                costs.push(res.cost);
+            }
+        }
+        assert!(costs.windows(2).all(|w| w[0] == w[1]), "orders disagree: {costs:?}");
+    }
+
+    #[test]
+    fn dominated_nodes_are_pruned() {
+        // class { add(x, x), mul(x, y) }: add's child set {x} is a subset
+        // of mul's {x, y} at equal op cost — mul must be pruned.
+        let mut eg = EGraph::new();
+        let x = eg.add(Node::sym("x"));
+        let y = eg.add(Node::sym("y"));
+        let ax = eg.add(Node::new(Op::Add, vec![x, x]));
+        let mxy = eg.add(Node::new(Op::Mul, vec![x, y]));
+        eg.union(ax, mxy);
+        eg.rebuild();
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        let cands = cx.candidates(ax);
+        assert_eq!(cands.len(), 1, "dominated mul must be pruned: {cands:?}");
+        assert_eq!(cands[0].op, Op::Add);
+    }
+
+    #[test]
+    fn domination_respects_cost_and_subset_direction() {
+        // div(x) vs neg(x): same child set {x} but div is heavier — only
+        // the cheap node survives. neg(x) vs sub(x, y): neg's set is the
+        // subset at equal-or-lower cost, sub is pruned; the reverse
+        // (superset at lower cost) must NOT prune.
+        let mut eg = EGraph::new();
+        let x = eg.add(Node::sym("x"));
+        let y = eg.add(Node::sym("y"));
+        let n = eg.add(Node::new(Op::Neg, vec![x]));
+        let s = eg.add(Node::new(Op::Sub, vec![x, y]));
+        eg.union(n, s);
+        eg.rebuild();
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        assert_eq!(cx.candidates(n).len(), 1);
+        assert_eq!(cx.candidates(n)[0].op, Op::Neg);
+
+        // heavy single-child node vs cheap two-child node: no domination
+        // either way (cost and subset point in opposite directions)
+        let mut eg2 = EGraph::new();
+        let x2 = eg2.add(Node::sym("x"));
+        let y2 = eg2.add(Node::sym("y"));
+        let d = eg2.add(Node::new(Op::Div, vec![x2, x2]));
+        let m = eg2.add(Node::new(Op::Mul, vec![x2, y2]));
+        eg2.union(d, m);
+        eg2.rebuild();
+        let cx2 = SearchContext::build(&eg2, &cm);
+        assert_eq!(cx2.candidates(d).len(), 2, "neither node dominates the other");
+    }
+
+    #[test]
+    fn root_lower_bound_is_admissible_and_reaches_tree_bound() {
+        // on a pure tree the forced closure covers the whole term, so the
+        // memoized bound equals the exact cost
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let ab = eg.add(Node::new(Op::Add, vec![a, b]));
+        let r = eg.add(Node::new(Op::Mul, vec![ab, a]));
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        let res = extract_exact(&eg, &[r], &cm, Duration::from_secs(1));
+        assert_eq!(cx.root_lower_bound(&[r]), res.cost, "tree bound is tight");
     }
 }

@@ -7,30 +7,53 @@
 //! programming techniques."
 //!
 //! The paper solves the shared-cost objective with the CBC LP solver. We
-//! implement the same objective with two solvers built from scratch:
+//! implement the same objective with solvers built from scratch, layered:
 //!
 //! * [`extract_greedy`] — the classic bottom-up fixpoint that minimizes
 //!   *tree* cost per class (egg's default extractor). Fast, always sound,
-//!   used as the incumbent and the timeout fallback.
+//!   used as the incumbent and the budget-exhausted fallback.
 //! * [`extract_exact`] — branch-and-bound over per-class node choices that
-//!   minimizes the true *DAG* cost (shared classes counted once), with an
-//!   admissible lower bound and a wall-clock budget mirroring the paper's
-//!   30-second extraction limit.
+//!   minimizes the true *DAG* cost (shared classes counted once),
+//!   strengthened by dominated-node pruning, memoized per-class lower
+//!   bounds and best-first class ordering (see [`bnb`]), under a
+//!   deterministic explored-node budget with a wall-clock safety valve
+//!   mirroring the paper's 30-second extraction limit.
+//! * [`extract_portfolio`] — diversified [`bnb`] strategies racing on
+//!   scoped worker threads; first provably-optimal or best-at-budget
+//!   selection wins, deterministically (see [`portfolio`]). This is what
+//!   the pipeline and the `accsat batch` driver call.
 //!
 //! The cost model is the paper's §V-B, verbatim: constants are free, each
 //! input variable or φ costs 1, every computational operation costs 10
 //! except division/modulo, and each memory access, division, modulo, or
 //! function call costs 100.
 
+#![warn(missing_docs)]
+
 pub mod bnb;
 pub mod cost;
 pub mod greedy;
+pub mod portfolio;
 pub mod selection;
 
-pub use bnb::{extract_exact, ExactResult};
+pub use bnb::{
+    extract_exact, extract_exact_in, extract_exact_with, ClassOrder, ExactResult, SearchContext,
+    SearchOptions,
+};
 pub use cost::CostModel;
 pub use greedy::extract_greedy;
+pub use portfolio::{extract_portfolio, PortfolioConfig, PortfolioResult, WorkerOutcome};
 pub use selection::Selection;
+
+// Compile-time guarantee that extraction state crosses threads: the
+// portfolio borrows the e-graph from several scoped workers and sends
+// selections back.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Selection>();
+    assert_send_sync::<ExactResult>();
+    assert_send_sync::<PortfolioResult>();
+};
 
 use accsat_egraph::{EGraph, Id};
 use std::time::Duration;

@@ -1,0 +1,292 @@
+//! Deadline-aware extraction portfolio: diversified branch-and-bound
+//! searches racing on worker threads.
+//!
+//! The paper gives extraction a 30-second budget and falls back to the
+//! incumbent when the LP solver runs out of time (§VII). This module
+//! spends such a budget better than one search can: several
+//! branch-and-bound configurations — different class orderings and
+//! candidate orderings ([`SearchOptions`]) — explore *different* search
+//! trees over the same e-graph, each seeded with the greedy incumbent,
+//! and the best result wins.
+//!
+//! # Determinism
+//!
+//! Batch runs must be reproducible, so the portfolio is engineered to
+//! return byte-identical selections for a fixed [`PortfolioConfig`]:
+//!
+//! * every worker's budget is a deterministic *explored-node count*, not a
+//!   wall-clock slice (the wall-clock deadline exists as a safety valve
+//!   and is generous enough that the node budget binds first);
+//! * workers never exchange incumbents mid-search (sharing would make
+//!   pruning timing-dependent), and no worker cancels another;
+//! * the winner is chosen after **all** workers finish, by lowest cost
+//!   with ties broken by the fixed strategy order — never by completion
+//!   order.
+//!
+//! Consequently the result depends only on the e-graph, the cost model
+//! and the config — not on thread scheduling — and a portfolio of width
+//! `n` returns the same selection whether its workers run concurrently or
+//! one after another.
+
+use crate::bnb::{extract_exact_in, ClassOrder, SearchContext, SearchOptions};
+use crate::cost::CostModel;
+use crate::greedy::extract_greedy;
+use crate::selection::Selection;
+use accsat_egraph::{EGraph, Id};
+use std::time::Duration;
+
+/// The fixed strategy table the portfolio draws from, in priority order.
+/// A portfolio of width `n` runs the first `n` entries.
+const STRATEGIES: &[(&str, ClassOrder, bool)] = &[
+    ("bnb-bestfirst", ClassOrder::BestFirst, false),
+    ("bnb-heaviest", ClassOrder::HeaviestFirst, false),
+    ("bnb-bestfirst-shared", ClassOrder::BestFirst, true),
+    ("bnb-lifo", ClassOrder::Lifo, false),
+];
+
+/// Portfolio configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PortfolioConfig {
+    /// Number of racing branch-and-bound workers (clamped to the strategy
+    /// table size). `1` runs the default strategy on the calling thread.
+    pub threads: usize,
+    /// Deterministic per-worker exploration budget (search-tree nodes).
+    pub node_budget: u64,
+    /// Wall-clock safety valve per worker, on top of the node budget.
+    pub deadline: Duration,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> PortfolioConfig {
+        PortfolioConfig {
+            threads: 2,
+            node_budget: SearchOptions::default().node_budget,
+            deadline: SearchOptions::default().deadline,
+        }
+    }
+}
+
+/// What one portfolio member reported.
+#[derive(Debug, Clone)]
+pub struct WorkerOutcome {
+    /// Strategy name (from the fixed portfolio table, or `"greedy"` for
+    /// the shared incumbent when the bound check short-circuits).
+    pub strategy: &'static str,
+    /// DAG cost of the worker's best selection.
+    pub cost: u64,
+    /// Did the worker prove its selection optimal?
+    pub proven_optimal: bool,
+    /// Search-tree nodes the worker explored.
+    pub explored: u64,
+}
+
+/// Result of a portfolio extraction.
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    /// The winning selection.
+    pub selection: Selection,
+    /// DAG cost of the winning selection.
+    pub cost: u64,
+    /// `true` when some member proved optimality (the winner then has the
+    /// optimal cost).
+    pub proven_optimal: bool,
+    /// Strategy name of the winning member.
+    pub winner: &'static str,
+    /// Per-member outcomes, in strategy order.
+    pub workers: Vec<WorkerOutcome>,
+}
+
+/// Run the extraction portfolio over `roots`.
+///
+/// The greedy incumbent is computed first; if its cost already meets the
+/// admissible root lower bound it is returned immediately as provably
+/// optimal (no search threads are spawned). Otherwise `config.threads`
+/// branch-and-bound workers race and the best deterministic result wins.
+pub fn extract_portfolio(
+    eg: &EGraph,
+    roots: &[Id],
+    cm: &CostModel,
+    config: &PortfolioConfig,
+) -> PortfolioResult {
+    let greedy = extract_greedy(eg, roots, cm);
+    let greedy_cost = greedy.dag_cost(eg, cm, roots);
+    // built once, shared by every worker (the context is immutable and
+    // Sync; each search only derives its own candidate orders from it)
+    let cx = SearchContext::build(eg, cm);
+    if greedy_cost <= cx.root_lower_bound(roots) {
+        // the incumbent meets the admissible bound: provably optimal
+        // without any branching
+        return PortfolioResult {
+            selection: greedy,
+            cost: greedy_cost,
+            proven_optimal: true,
+            winner: "greedy",
+            workers: vec![WorkerOutcome {
+                strategy: "greedy",
+                cost: greedy_cost,
+                proven_optimal: true,
+                explored: 0,
+            }],
+        };
+    }
+
+    let width = config.threads.clamp(1, STRATEGIES.len());
+    let opts: Vec<(&'static str, SearchOptions)> = STRATEGIES[..width]
+        .iter()
+        .map(|&(name, order, prefer_shared)| {
+            (
+                name,
+                SearchOptions {
+                    order,
+                    prefer_shared,
+                    node_budget: config.node_budget,
+                    deadline: config.deadline,
+                },
+            )
+        })
+        .collect();
+
+    let results: Vec<(&'static str, crate::bnb::ExactResult)> = if width == 1 {
+        vec![(opts[0].0, extract_exact_in(&cx, roots, &greedy, greedy_cost, &opts[0].1))]
+    } else {
+        std::thread::scope(|scope| {
+            let cx = &cx;
+            let greedy = &greedy;
+            let handles: Vec<_> = opts
+                .iter()
+                .map(|(name, o)| {
+                    let name = *name;
+                    let o = *o;
+                    scope
+                        .spawn(move || (name, extract_exact_in(cx, roots, greedy, greedy_cost, &o)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("portfolio worker panicked")).collect()
+        })
+    };
+
+    let workers: Vec<WorkerOutcome> = results
+        .iter()
+        .map(|(name, r)| WorkerOutcome {
+            strategy: name,
+            cost: r.cost,
+            proven_optimal: r.proven_optimal,
+            explored: r.explored,
+        })
+        .collect();
+    // winner: lowest cost, ties broken by strategy order — completion
+    // order never matters
+    let win = (0..results.len())
+        .min_by_key(|&i| (results[i].1.cost, i))
+        .expect("portfolio has at least one member");
+    let proven = results.iter().any(|(_, r)| r.proven_optimal);
+    let (winner, best) = &results[win];
+    PortfolioResult {
+        selection: best.selection.clone(),
+        cost: best.cost,
+        proven_optimal: proven,
+        winner,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accsat_egraph::{all_rules, Node, Op, Runner};
+
+    fn sharing_graph() -> (EGraph, Vec<Id>) {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let h = eg.add(Node::new(Op::Div, vec![a, b]));
+        let r1 = eg.add(Node::new(Op::Add, vec![h, a]));
+        let r2 = eg.add(Node::new(Op::Mul, vec![h, b]));
+        Runner::new(all_rules()).run(&mut eg);
+        let roots = vec![eg.find(r1), eg.find(r2)];
+        (eg, roots)
+    }
+
+    #[test]
+    fn portfolio_matches_exact() {
+        let (eg, roots) = sharing_graph();
+        let cm = CostModel::paper();
+        let exact = crate::bnb::extract_exact(&eg, &roots, &cm, std::time::Duration::from_secs(2));
+        for threads in [1, 2, 4] {
+            let cfg = PortfolioConfig { threads, ..PortfolioConfig::default() };
+            let res = extract_portfolio(&eg, &roots, &cm, &cfg);
+            assert_eq!(res.cost, exact.cost, "threads={threads}");
+            assert!(res.proven_optimal, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn portfolio_is_deterministic_across_runs() {
+        let (eg, roots) = sharing_graph();
+        let cm = CostModel::paper();
+        let cfg = PortfolioConfig { threads: 4, ..PortfolioConfig::default() };
+        let first = extract_portfolio(&eg, &roots, &cm, &cfg);
+        for _ in 0..3 {
+            let again = extract_portfolio(&eg, &roots, &cm, &cfg);
+            assert_eq!(again.cost, first.cost);
+            assert_eq!(again.winner, first.winner);
+            for r in &roots {
+                assert_eq!(
+                    again.selection.term_string(&eg, *r),
+                    first.selection.term_string(&eg, *r),
+                    "selections must be byte-identical run to run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_short_circuit_on_trees() {
+        // a pure tree: the greedy incumbent meets the root lower bound and
+        // wins without spawning any search
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let ab = eg.add(Node::new(Op::Add, vec![a, b]));
+        let r = eg.add(Node::new(Op::Mul, vec![ab, a]));
+        let cm = CostModel::paper();
+        let res = extract_portfolio(&eg, &[r], &cm, &PortfolioConfig::default());
+        assert_eq!(res.winner, "greedy");
+        assert!(res.proven_optimal);
+        assert_eq!(res.workers.len(), 1);
+        assert_eq!(res.workers[0].explored, 0);
+    }
+
+    #[test]
+    fn zero_budget_returns_greedy_incumbent() {
+        // root 1's class holds add(u, u) (heavy u, shared) and add(v1, v2)
+        // (two cheap muls); root 2 forces u to be selected anyway. Greedy
+        // is tree-optimal and picks the muls (DAG 143); reusing u is the
+        // DAG optimum (122). The admissible bound (120) stays below it, so
+        // the short-circuit cannot fire and the one-node budget must stop
+        // every worker before any improvement.
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let c = eg.add(Node::sym("c"));
+        let u = eg.add(Node::new(Op::Div, vec![a, b]));
+        let uu = eg.add(Node::new(Op::Add, vec![u, u]));
+        let v1 = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let v2 = eg.add(Node::new(Op::Mul, vec![b, c]));
+        let vv = eg.add(Node::new(Op::Add, vec![v1, v2]));
+        eg.union(uu, vv);
+        eg.rebuild();
+        let r2 = eg.add(Node::new(Op::Neg, vec![u]));
+        let roots = vec![eg.find(uu), eg.find(r2)];
+        let cm = CostModel::paper();
+        let cfg = PortfolioConfig { threads: 2, node_budget: 1, ..PortfolioConfig::default() };
+        let res = extract_portfolio(&eg, &roots, &cm, &cfg);
+        assert!(!res.proven_optimal);
+        let g = extract_greedy(&eg, &roots, &cm);
+        assert_eq!(res.cost, g.dag_cost(&eg, &cm, &roots));
+        // with a real budget the portfolio then beats the incumbent
+        let res2 = extract_portfolio(&eg, &roots, &cm, &PortfolioConfig::default());
+        assert!(res2.proven_optimal);
+        assert!(res2.cost < res.cost);
+    }
+}

@@ -43,6 +43,19 @@ impl Selection {
         self.choice.is_empty()
     }
 
+    /// Adopt `other`'s choice for every class this selection does not
+    /// cover. Used to complete a minimal branch-and-bound selection (roots
+    /// closure only) to the total cover the code generator expects —
+    /// consumers also materialize classes that are not extraction roots,
+    /// such as loop and branch conditions. Filling cannot create a cycle:
+    /// the minimal selection is closed under children, so no path through
+    /// it can return to a filled class.
+    pub fn fill_from(&mut self, other: &Selection) {
+        for (id, node) in &other.choice {
+            self.choice.entry(*id).or_insert_with(|| node.clone());
+        }
+    }
+
     /// All classes reachable from `roots` through the selection, in
     /// children-before-parents (topological) order.
     pub fn reachable(&self, eg: &EGraph, roots: &[Id]) -> Vec<Id> {
