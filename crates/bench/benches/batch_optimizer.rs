@@ -28,7 +28,7 @@ fn bench_batch_threads(c: &mut Criterion) {
                         &benches,
                         Variant::AccSat,
                         &config,
-                        &ParallelConfig { threads, kernel_deadline: None },
+                        &ParallelConfig { threads, kernel_deadline: None, shard: None },
                     )
                     .unwrap()
                 })
@@ -53,7 +53,7 @@ fn bench_batch_vs_naive(c: &mut Criterion) {
                 &benches,
                 Variant::AccSat,
                 &config,
-                &ParallelConfig { threads: 1, kernel_deadline: None },
+                &ParallelConfig { threads: 1, kernel_deadline: None, shard: None },
             )
             .unwrap()
         })
@@ -89,7 +89,7 @@ fn bench_portfolio_width(c: &mut Criterion) {
                         &benches,
                         Variant::AccSat,
                         config,
-                        &ParallelConfig { threads: 1, kernel_deadline: None },
+                        &ParallelConfig { threads: 1, kernel_deadline: None, shard: None },
                     )
                     .unwrap()
                 })
@@ -120,7 +120,7 @@ fn bench_budget_mode(c: &mut Criterion) {
                     &benches,
                     Variant::AccSat,
                     config,
-                    &ParallelConfig { threads: 1, kernel_deadline: None },
+                    &ParallelConfig { threads: 1, kernel_deadline: None, shard: None },
                 )
                 .unwrap()
             })

@@ -23,7 +23,8 @@
 //! do not bind at benchmark sizes; a run that does hit one falls back to
 //! sound-but-unproven results.)
 
-use crate::pipeline::{optimize_function, OptStats, SaturatorConfig, Variant};
+use crate::pipeline::{optimize_function, tune_function, OptStats, SaturatorConfig, Variant};
+use accsat_autotune::TuneConfig;
 use accsat_benchmarks::Benchmark;
 use accsat_ir::{parse_program, print_program, Program};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -40,6 +41,13 @@ pub struct ParallelConfig {
     /// and extraction in the paper's 10 s : 30 s proportion; clamps the
     /// corresponding limits in the per-kernel [`SaturatorConfig`].
     pub kernel_deadline: Option<Duration>,
+    /// Deterministic multi-process sharding: `Some((i, n))` makes this run
+    /// process only the work items (functions) whose suite-order index is
+    /// ≡ i (mod n). Independent processes running shards `0/n … (n-1)/n`
+    /// together cover the suite exactly once, and because per-kernel
+    /// results depend only on inputs and configuration, their JSON reports
+    /// merge by simple concatenation of the per-benchmark kernel lists.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl Default for ParallelConfig {
@@ -48,7 +56,7 @@ impl Default for ParallelConfig {
         // (`SaturatorConfig::extraction_threads`), so sizing the pool at
         // half the cores keeps the default batch from oversubscribing
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ParallelConfig { threads: cores.div_ceil(2), kernel_deadline: None }
+        ParallelConfig { threads: cores.div_ceil(2), kernel_deadline: None, shard: None }
     }
 }
 
@@ -100,6 +108,10 @@ pub struct BatchReport {
     pub benchmarks: Vec<BenchmarkRecord>,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
+    /// Was the simulation-guided tuner the objective ([`tune_suite`])?
+    pub tuned: bool,
+    /// The shard this run covered, when sharded.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl BatchReport {
@@ -147,18 +159,91 @@ impl BatchReport {
         )
     }
 
+    /// Render the per-candidate tuning table: one row per simulated
+    /// candidate of every tuned kernel, Table IV metrics included. Fully
+    /// deterministic (no wall-clock columns), so the output is
+    /// byte-identical at any thread count.
+    pub fn render_tuning_table(&self) -> String {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for b in &self.benchmarks {
+            for f in &b.functions {
+                for s in &f.stats {
+                    let Some(t) = &s.tuning else { continue };
+                    for (ci, c) in t.candidates.iter().enumerate() {
+                        let verdict = match (ci == t.winner, ci == t.static_winner) {
+                            (true, true) => "sim+static",
+                            (true, false) => "sim",
+                            (false, true) => "static",
+                            (false, false) => "",
+                        };
+                        rows.push(vec![
+                            b.benchmark.clone(),
+                            f.function.clone(),
+                            c.label.clone(),
+                            c.static_cost.to_string(),
+                            c.cycles.to_string(),
+                            format!("{:.3}", c.metrics.time_ms * 1e3),
+                            format!("{:.0}", c.metrics.instructions),
+                            c.metrics.regs_per_thread.to_string(),
+                            format!("{:.2}", c.metrics.occupancy),
+                            format!("{:.2}", c.metrics.mem_util),
+                            verdict.to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+        crate::report::render_table(
+            &[
+                "Benchmark",
+                "Kernel",
+                "Candidate",
+                "Static",
+                "Cycles",
+                "Time us",
+                "Instr",
+                "Regs",
+                "Occ",
+                "MemUtil",
+                "Winner",
+            ],
+            &rows,
+        )
+    }
+
     /// Serialize the report as JSON (hand-rolled — the environment has no
     /// serde; names are simple identifiers but are escaped anyway).
+    /// Includes wall-clock timing fields, so two runs of the same inputs
+    /// differ in those fields only.
     pub fn to_json(&self) -> String {
+        self.json_impl(true)
+    }
+
+    /// Timing-free JSON: identical structure minus the wall-clock fields
+    /// (`wall_ms`, `sequential_work_ms`, per-kernel `*_ms`). The output is
+    /// **byte-identical** for a fixed suite and configuration at any
+    /// thread count and across processes — this is what `accsat tune`
+    /// writes, and what sharded runs merge.
+    pub fn to_stable_json(&self) -> String {
+        self.json_impl(false)
+    }
+
+    fn json_impl(&self, timing: bool) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
         out.push_str(&format!("  \"variant\": \"{}\",\n", self.variant.label()));
-        out.push_str(&format!("  \"threads\": {},\n", self.threads));
-        out.push_str(&format!("  \"wall_ms\": {:.3},\n", self.wall.as_secs_f64() * 1e3));
-        out.push_str(&format!(
-            "  \"sequential_work_ms\": {:.3},\n",
-            self.sequential_work().as_secs_f64() * 1e3
-        ));
+        out.push_str(&format!("  \"tuned\": {},\n", self.tuned));
+        if let Some((i, n)) = self.shard {
+            out.push_str(&format!("  \"shard\": \"{i}/{n}\",\n"));
+        }
+        if timing {
+            out.push_str(&format!("  \"threads\": {},\n", self.threads));
+            out.push_str(&format!("  \"wall_ms\": {:.3},\n", self.wall.as_secs_f64() * 1e3));
+            out.push_str(&format!(
+                "  \"sequential_work_ms\": {:.3},\n",
+                self.sequential_work().as_secs_f64() * 1e3
+            ));
+        }
         out.push_str(&format!("  \"total_cost\": {},\n", self.total_cost()));
         out.push_str("  \"benchmarks\": [\n");
         for (bi, b) in self.benchmarks.iter().enumerate() {
@@ -176,8 +261,7 @@ impl BatchReport {
                 out.push_str(&format!(
                     "      {{\"function\": \"{}\", \"egraph_nodes\": {}, \
                      \"iterations\": {}, \"cost\": {}, \"proven_optimal\": {}, \
-                     \"winner\": \"{}\", \"explored\": {}, \"saturation_ms\": {:.3}, \
-                     \"extraction_ms\": {:.3}}}{}\n",
+                     \"winner\": \"{}\", \"explored\": {}",
                     escape(func),
                     s.egraph_nodes,
                     s.saturation_iters,
@@ -185,10 +269,42 @@ impl BatchReport {
                     s.extraction_proven,
                     s.extraction_winner,
                     s.extraction_explored,
-                    s.saturation.as_secs_f64() * 1e3,
-                    s.extraction.as_secs_f64() * 1e3,
-                    if ki + 1 < stats.len() { "," } else { "" },
                 ));
+                if timing {
+                    out.push_str(&format!(
+                        ", \"saturation_ms\": {:.3}, \"extraction_ms\": {:.3}",
+                        s.saturation.as_secs_f64() * 1e3,
+                        s.extraction.as_secs_f64() * 1e3,
+                    ));
+                }
+                if let Some(t) = &s.tuning {
+                    out.push_str(&format!(
+                        ", \"tuning\": {{\"harvested\": {}, \"winner\": \"{}\", \
+                         \"static_winner\": \"{}\", \"divergent\": {}, \"candidates\": [",
+                        t.harvested,
+                        escape(&t.winning().label),
+                        escape(&t.static_winning().label),
+                        t.divergent(),
+                    ));
+                    for (ci, c) in t.candidates.iter().enumerate() {
+                        out.push_str(&format!(
+                            "{}{{\"label\": \"{}\", \"static_cost\": {}, \"cycles\": {}, \
+                             \"time_us\": {:.3}, \"instructions\": {:.0}, \"regs\": {}, \
+                             \"occupancy\": {:.4}, \"mem_util\": {:.4}}}",
+                            if ci > 0 { ", " } else { "" },
+                            escape(&c.label),
+                            c.static_cost,
+                            c.cycles,
+                            c.metrics.time_ms * 1e3,
+                            c.metrics.instructions,
+                            c.metrics.regs_per_thread,
+                            c.metrics.occupancy,
+                            c.metrics.mem_util,
+                        ));
+                    }
+                    out.push_str("]}");
+                }
+                out.push_str(&format!("}}{}\n", if ki + 1 < stats.len() { "," } else { "" }));
             }
             out.push_str(&format!(
                 "    ]}}{}\n",
@@ -225,8 +341,38 @@ pub fn optimize_suite(
     config: &SaturatorConfig,
     par: &ParallelConfig,
 ) -> Result<BatchReport, String> {
+    run_suite(benches, variant, config, par, None)
+}
+
+/// Run the **simulation-guided tuner** over every kernel of `benches`:
+/// the same pool-driven batch as [`optimize_suite`], but each kernel's
+/// code is chosen by simulated cycles over a harvested candidate set
+/// instead of by the static cost model. Per-kernel [`OptStats::tuning`]
+/// carries every candidate's static cost and Table IV metrics.
+pub fn tune_suite(
+    benches: &[Benchmark],
+    variant: Variant,
+    config: &SaturatorConfig,
+    tcfg: &TuneConfig,
+    par: &ParallelConfig,
+) -> Result<BatchReport, String> {
+    run_suite(benches, variant, config, par, Some(tcfg))
+}
+
+fn run_suite(
+    benches: &[Benchmark],
+    variant: Variant,
+    config: &SaturatorConfig,
+    par: &ParallelConfig,
+    tune: Option<&TuneConfig>,
+) -> Result<BatchReport, String> {
     let t0 = Instant::now();
     let cfg = kernel_config(config, par.kernel_deadline);
+    if let Some((i, n)) = par.shard {
+        if n == 0 || i >= n {
+            return Err(format!("invalid shard {i}/{n}: need 0 <= i < n"));
+        }
+    }
 
     // parse up-front (cheap, sequential, deterministic), then flatten the
     // suite into (benchmark, function) work items
@@ -234,10 +380,17 @@ pub fn optimize_suite(
     for b in benches {
         programs.push(parse_program(&b.acc_source).map_err(|e| format!("{}: {e}", b.name))?);
     }
+    let bindings: Vec<std::collections::HashMap<String, i64>> =
+        benches.iter().map(|b| b.bindings_map()).collect();
     let items: Vec<(usize, usize)> = programs
         .iter()
         .enumerate()
         .flat_map(|(bi, p)| (0..p.functions.len()).map(move |fi| (bi, fi)))
+        .enumerate()
+        // deterministic sharding: suite-order index mod n picks the shard,
+        // so shards 0/n … (n-1)/n partition the suite exactly
+        .filter(|(idx, _)| par.shard.is_none_or(|(i, n)| idx % n == i))
+        .map(|(_, it)| it)
         .collect();
 
     // pre-allocated result slots: workers write by item index, so the
@@ -252,7 +405,11 @@ pub fn optimize_suite(
         let Some(&(bi, fi)) = items.get(i) else { break };
         let f = &programs[bi].functions[fi];
         let t = Instant::now();
-        let r = optimize_function(f, variant, &cfg).map(|(nf, stats)| (nf, stats, t.elapsed()));
+        let r = match tune {
+            Some(tcfg) => tune_function(f, variant, &cfg, tcfg, &bindings[bi]),
+            None => optimize_function(f, variant, &cfg),
+        }
+        .map(|(nf, stats)| (nf, stats, t.elapsed()));
         *slots[i].lock().expect("result slot") = Some(r);
     };
     if workers == 1 {
@@ -289,8 +446,28 @@ pub fn optimize_suite(
     for (bi, rec) in records.iter_mut().enumerate() {
         rec.optimized_source = print_program(&programs[bi]);
     }
+    if par.shard.is_some() {
+        // a shard only reports benchmarks it actually touched, so the
+        // shards' reports concatenate into exactly one full suite
+        let mut touched = vec![false; benches.len()];
+        for &(bi, _) in &items {
+            touched[bi] = true;
+        }
+        let mut bi = 0;
+        records.retain(|_| {
+            bi += 1;
+            touched[bi - 1]
+        });
+    }
 
-    Ok(BatchReport { variant, threads: workers, benchmarks: records, wall: t0.elapsed() })
+    Ok(BatchReport {
+        variant,
+        threads: workers,
+        benchmarks: records,
+        wall: t0.elapsed(),
+        tuned: tune.is_some(),
+        shard: par.shard,
+    })
 }
 
 #[cfg(test)]
@@ -320,7 +497,7 @@ mod tests {
     fn batch_runs_and_aggregates() {
         let suite = mini_suite();
         let cfg = fast_config();
-        let par = ParallelConfig { threads: 2, kernel_deadline: None };
+        let par = ParallelConfig { threads: 2, kernel_deadline: None, shard: None };
         let report = optimize_suite(&suite, Variant::AccSat, &cfg, &par).unwrap();
         assert_eq!(report.benchmarks.len(), 2);
         assert!(report.total_kernels() >= 2);
@@ -344,14 +521,14 @@ mod tests {
             &suite,
             Variant::AccSat,
             &cfg,
-            &ParallelConfig { threads: 1, kernel_deadline: None },
+            &ParallelConfig { threads: 1, kernel_deadline: None, shard: None },
         )
         .unwrap();
         let par = optimize_suite(
             &suite,
             Variant::AccSat,
             &cfg,
-            &ParallelConfig { threads: 4, kernel_deadline: None },
+            &ParallelConfig { threads: 4, kernel_deadline: None, shard: None },
         )
         .unwrap();
         assert_eq!(seq.total_cost(), par.total_cost());
@@ -379,10 +556,113 @@ mod tests {
             &suite,
             Variant::AccSat,
             &cfg,
-            &ParallelConfig { threads: 2, kernel_deadline: None },
+            &ParallelConfig { threads: 2, kernel_deadline: None, shard: None },
         )
         .unwrap();
         assert_eq!(Arc::strong_count(&rules), 2, "config + test handle only");
+    }
+
+    #[test]
+    fn sharding_partitions_the_suite_exactly() {
+        let suite = mini_suite();
+        let cfg = fast_config();
+        let full = optimize_suite(
+            &suite,
+            Variant::AccSat,
+            &cfg,
+            &ParallelConfig { threads: 1, kernel_deadline: None, shard: None },
+        )
+        .unwrap();
+        let shards: Vec<BatchReport> = (0..2)
+            .map(|i| {
+                optimize_suite(
+                    &suite,
+                    Variant::AccSat,
+                    &cfg,
+                    &ParallelConfig { threads: 1, kernel_deadline: None, shard: Some((i, 2)) },
+                )
+                .unwrap()
+            })
+            .collect();
+        // shards cover the suite exactly once…
+        let count: usize = shards.iter().map(|r| r.total_kernels()).sum();
+        assert_eq!(count, full.total_kernels());
+        let cost: u64 = shards.iter().map(|r| r.total_cost()).sum();
+        assert_eq!(cost, full.total_cost());
+        // …and every sharded kernel matches the full run byte-for-byte
+        let full_stats: Vec<(String, u64)> = full
+            .benchmarks
+            .iter()
+            .flat_map(|b| {
+                b.functions.iter().flat_map(|f| {
+                    f.stats.iter().map(move |s| (f.function.clone(), s.extracted_cost))
+                })
+            })
+            .collect();
+        let mut shard_stats: Vec<(String, u64)> = shards
+            .iter()
+            .flat_map(|r| r.benchmarks.iter())
+            .flat_map(|b| {
+                b.functions.iter().flat_map(|f| {
+                    f.stats.iter().map(move |s| (f.function.clone(), s.extracted_cost))
+                })
+            })
+            .collect();
+        shard_stats.sort();
+        let mut sorted_full = full_stats;
+        sorted_full.sort();
+        assert_eq!(shard_stats, sorted_full);
+        // the shard is recorded in the stable JSON
+        assert!(shards[0].to_stable_json().contains("\"shard\": \"0/2\""));
+    }
+
+    #[test]
+    fn invalid_shard_is_rejected() {
+        let suite = mini_suite();
+        let cfg = fast_config();
+        let par = ParallelConfig { threads: 1, kernel_deadline: None, shard: Some((2, 2)) };
+        assert!(optimize_suite(&suite, Variant::AccSat, &cfg, &par).is_err());
+    }
+
+    #[test]
+    fn tune_suite_is_byte_identical_across_thread_counts() {
+        let suite = mini_suite();
+        let cfg = fast_config();
+        let tcfg = TuneConfig::default();
+        let runs: Vec<BatchReport> = [1, 4]
+            .iter()
+            .map(|&threads| {
+                tune_suite(
+                    &suite,
+                    Variant::AccSat,
+                    &cfg,
+                    &tcfg,
+                    &ParallelConfig { threads, kernel_deadline: None, shard: None },
+                )
+                .unwrap()
+            })
+            .collect();
+        assert!(runs[0].tuned);
+        assert_eq!(runs[0].render_tuning_table(), runs[1].render_tuning_table());
+        assert_eq!(runs[0].to_stable_json(), runs[1].to_stable_json());
+        for (a, b) in runs[0].benchmarks.iter().zip(&runs[1].benchmarks) {
+            assert_eq!(a.optimized_source, b.optimized_source, "{}", a.benchmark);
+        }
+        // every tuned kernel carries candidate reports and a sane winner
+        for b in &runs[0].benchmarks {
+            for s in b.kernel_stats() {
+                let t = s.tuning.as_ref().expect("tune mode populates tuning");
+                assert!(!t.candidates.is_empty());
+                assert!(t.winner < t.candidates.len());
+                let min = t.candidates.iter().map(|c| c.cycles).min().unwrap();
+                assert_eq!(t.winning().cycles, min);
+                assert_eq!(s.extraction_winner, "tune");
+            }
+        }
+        let json = runs[0].to_stable_json();
+        assert!(json.contains("\"tuning\""));
+        assert!(json.contains("\"candidates\""));
+        assert!(!json.contains("wall_ms"), "stable JSON must carry no wall clocks");
     }
 
     #[test]

@@ -12,12 +12,22 @@
 //! accsat --stats INPUT.c            # print per-kernel optimizer stats
 //! accsat batch [--suite npb|spec|all] [--threads N] [--variant V]
 //!              [--deadline-ms D] [--extract-budget NODES] [--json OUT.json]
+//!              [--shard I/N] [--tune]
 //!              # full pipeline over a whole benchmark suite, in parallel
+//! accsat tune  [--suite npb|spec|all] [--threads N] [--device pcie|sxm]
+//!              [--compiler nvhpc|gcc] [--sweep H1,H2,…] [--keep K]
+//!              [--shard I/N] [--json OUT.json]
+//!              # simulation-guided autotuning: pick each kernel's code by
+//!              # simulated cycles over a harvested candidate set; output
+//!              # is byte-identical at any thread count
 //! ```
 
-use accsat::batch::{optimize_suite, ParallelConfig};
+use accsat::batch::{optimize_suite, tune_suite, ParallelConfig};
 use accsat::{optimize_program, SaturatorConfig, Variant};
-use accsat_ir::{parse_program, print_program};
+use accsat_autotune::TuneConfig;
+use accsat_compilers::{Compiler, CompilerModel};
+use accsat_gpusim::Device;
+use accsat_ir::{parse_program, print_program, Model};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -25,9 +35,20 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: accsat [--variant cse|cse+sat|cse+bulk|accsat] [--stats] [-o OUT.c] INPUT.c\n\
                 accsat batch [--suite npb|spec|all] [--threads N] [--variant V]\n\
-         \x20            [--deadline-ms D] [--extract-budget NODES] [--json OUT.json]"
+         \x20            [--deadline-ms D] [--extract-budget NODES] [--json OUT.json]\n\
+         \x20            [--shard I/N] [--tune]\n\
+                accsat tune [--suite npb|spec|all] [--threads N] [--device pcie|sxm]\n\
+         \x20            [--compiler nvhpc|gcc] [--sweep H1,H2,...] [--keep K]\n\
+         \x20            [--shard I/N] [--json OUT.json]"
     );
     ExitCode::from(2)
+}
+
+/// Parse a `--shard I/N` operand.
+fn parse_shard(s: &str) -> Option<(usize, usize)> {
+    let (i, n) = s.split_once('/')?;
+    let (i, n) = (i.parse::<usize>().ok()?, n.parse::<usize>().ok()?);
+    (n > 0 && i < n).then_some((i, n))
 }
 
 fn parse_variant(v: Option<&str>) -> Option<Variant> {
@@ -40,13 +61,20 @@ fn parse_variant(v: Option<&str>) -> Option<Variant> {
     }
 }
 
-/// `accsat batch`: the parallel batch driver over a benchmark suite.
-fn batch_main(args: Vec<String>) -> ExitCode {
+/// `accsat batch` / `accsat tune`: the parallel drivers over a benchmark
+/// suite. `tune_mode` switches the per-kernel objective from the static
+/// cost model to simulated cycles, and makes all output deterministic
+/// (byte-identical at any `--threads`).
+fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
     let mut suite = "npb".to_string();
     let mut variant = Variant::AccSat;
     let mut par = ParallelConfig::default();
     let mut json: Option<String> = None;
     let mut extract_budget: Option<u64> = None;
+    let mut tcfg = TuneConfig::default();
+    // tuner-only flags seen while parsing: a plain batch must reject
+    // them instead of silently ignoring the user's tuning intent
+    let mut tune_flags: Vec<&'static str> = Vec::new();
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -93,11 +121,78 @@ fn batch_main(args: Vec<String>) -> ExitCode {
                     return usage();
                 }
             },
+            "--shard" => match it.next().as_deref().and_then(parse_shard) {
+                Some(sh) => par.shard = Some(sh),
+                None => {
+                    eprintln!("--shard needs I/N with 0 <= I < N");
+                    return usage();
+                }
+            },
+            "--tune" => tune_mode = true,
+            "--device" => {
+                tune_flags.push("--device");
+                match it.next().as_deref() {
+                    Some("pcie" | "a100-40g") => tcfg.device = Device::a100_pcie_40gb(),
+                    Some("sxm" | "a100-80g") => tcfg.device = Device::a100_sxm4_80gb(),
+                    other => {
+                        eprintln!("unknown device: {other:?} (pcie|sxm)");
+                        return usage();
+                    }
+                }
+            }
+            "--compiler" => {
+                tune_flags.push("--compiler");
+                match it.next().as_deref() {
+                    Some("nvhpc") => {
+                        tcfg.compiler = CompilerModel::new(Compiler::Nvhpc, Model::OpenAcc)
+                    }
+                    Some("gcc") => {
+                        tcfg.compiler = CompilerModel::new(Compiler::Gcc, Model::OpenAcc)
+                    }
+                    other => {
+                        eprintln!("unknown compiler: {other:?} (nvhpc|gcc)");
+                        return usage();
+                    }
+                }
+            }
+            "--sweep" => {
+                tune_flags.push("--sweep");
+                let vals: Option<Vec<u64>> = it
+                    .next()
+                    .map(|s| s.split(',').map(|v| v.trim().parse::<u64>().ok()).collect())
+                    .unwrap_or(None);
+                match vals {
+                    Some(v) if !v.is_empty() => tcfg.sweep = v,
+                    _ => {
+                        eprintln!("--sweep needs a comma-separated list of heavy costs");
+                        return usage();
+                    }
+                }
+            }
+            "--keep" => {
+                tune_flags.push("--keep");
+                match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                    Some(k) if k > 0 => tcfg.keep = k,
+                    _ => {
+                        eprintln!("--keep needs a positive integer");
+                        return usage();
+                    }
+                }
+            }
             _ => {
                 eprintln!("unknown batch flag: {arg}");
                 return usage();
             }
         }
+    }
+
+    if !tune_mode && !tune_flags.is_empty() {
+        eprintln!(
+            "accsat batch: {} only take{} effect with --tune (or `accsat tune`)",
+            tune_flags.join(", "),
+            if tune_flags.len() == 1 { "s" } else { "" },
+        );
+        return usage();
     }
 
     let benches = match suite.as_str() {
@@ -109,7 +204,12 @@ fn batch_main(args: Vec<String>) -> ExitCode {
     if let Some(n) = extract_budget {
         config.extraction_node_budget = n;
     }
-    let report = match optimize_suite(&benches, variant, &config, &par) {
+    let report = if tune_mode {
+        tune_suite(&benches, variant, &config, &tcfg, &par)
+    } else {
+        optimize_suite(&benches, variant, &config, &par)
+    };
+    let report = match report {
         Ok(r) => r,
         Err(e) => {
             eprintln!("accsat batch: {e}");
@@ -117,33 +217,61 @@ fn batch_main(args: Vec<String>) -> ExitCode {
         }
     };
 
-    print!("{}", report.render_table());
-    let wall = report.wall.as_secs_f64();
-    let work = report.sequential_work().as_secs_f64();
-    println!(
-        "{} kernels, total cost {}, wall {:.2} s on {} threads \
-         (Σ kernel time {:.2} s, {:.2}x)",
-        report.total_kernels(),
-        report.total_cost(),
-        wall,
-        report.threads,
-        work,
-        if wall > 0.0 { work / wall } else { 1.0 },
-    );
+    if tune_mode {
+        // everything printed here is deterministic: simulated metrics
+        // only, never wall-clock measurements
+        print!("{}", report.render_tuning_table());
+        let kernels = report.total_kernels();
+        let (mut simulated, mut divergent) = (0usize, 0usize);
+        for b in &report.benchmarks {
+            for s in b.kernel_stats() {
+                if let Some(t) = &s.tuning {
+                    simulated += t.candidates.len();
+                    divergent += t.divergent() as usize;
+                }
+            }
+        }
+        println!(
+            "{kernels} kernels tuned, {simulated} candidates simulated, \
+             {divergent} divergent, total static cost {}",
+            report.total_cost(),
+        );
+    } else {
+        print!("{}", report.render_table());
+        let wall = report.wall.as_secs_f64();
+        let work = report.sequential_work().as_secs_f64();
+        println!(
+            "{} kernels, total cost {}, wall {:.2} s on {} threads \
+             (Σ kernel time {:.2} s, {:.2}x)",
+            report.total_kernels(),
+            report.total_cost(),
+            wall,
+            report.threads,
+            work,
+            if wall > 0.0 { work / wall } else { 1.0 },
+        );
+    }
     if let Some(path) = json {
-        if let Err(e) = std::fs::write(&path, report.to_json()) {
+        let body = if tune_mode { report.to_stable_json() } else { report.to_json() };
+        if let Err(e) = std::fs::write(&path, body) {
             eprintln!("accsat batch: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("report written to {path}");
+        if !tune_mode {
+            // (suppressed in tune mode to keep stdout byte-identical
+            // regardless of whether --json is passed)
+            println!("report written to {path}");
+        }
     }
     ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("batch") {
-        return batch_main(args.into_iter().skip(1).collect());
+    match args.first().map(String::as_str) {
+        Some("batch") => return batch_main(args.into_iter().skip(1).collect(), false),
+        Some("tune") => return batch_main(args.into_iter().skip(1).collect(), true),
+        _ => {}
     }
     let mut variant = Variant::AccSat;
     let mut input: Option<String> = None;

@@ -40,13 +40,18 @@ pub mod evaluate;
 pub mod pipeline;
 pub mod report;
 
-pub use batch::{optimize_suite, BatchReport, BenchmarkRecord, FunctionRecord, ParallelConfig};
+pub use batch::{
+    optimize_suite, tune_suite, BatchReport, BenchmarkRecord, FunctionRecord, ParallelConfig,
+};
 pub use evaluate::{evaluate_benchmark, speedup, BenchmarkResult, KernelResult};
-pub use pipeline::{optimize_function, optimize_program, OptStats, SaturatorConfig, Variant};
+pub use pipeline::{
+    optimize_function, optimize_program, tune_function, OptStats, SaturatorConfig, Variant,
+};
 pub use report::{format_speedup_row, render_table};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.
+pub use accsat_autotune as autotune;
 pub use accsat_benchmarks as benchmarks;
 pub use accsat_codegen as codegen;
 pub use accsat_compilers as compilers;

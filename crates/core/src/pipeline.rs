@@ -1,10 +1,12 @@
 //! The ACC Saturator pipeline: SSA → e-graph → saturation → extraction →
 //! code generation, per innermost parallel loop.
 
+use accsat_autotune::{tune_kernel, KernelTuning, TuneConfig};
 use accsat_codegen::{generate, CodegenOptions, TypeMap};
 use accsat_egraph::{all_rules, Rewrite, RuleStats, Runner, RunnerLimits, StopReason};
 use accsat_extract::{extract_portfolio, CostModel, PortfolioConfig};
 use accsat_ir::{Block, Function, Program, Stmt};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -116,10 +118,16 @@ pub struct OptStats {
     pub extracted_cost: u64,
     /// Did the extraction portfolio prove its selection optimal?
     pub extraction_proven: bool,
-    /// Which portfolio member produced the winning selection.
+    /// Which portfolio member produced the winning selection (`"tune"`
+    /// when the simulation-guided tuner chose it — see `tuning`).
     pub extraction_winner: &'static str,
-    /// Branch-and-bound nodes explored across all portfolio members.
+    /// Branch-and-bound nodes explored across all portfolio members
+    /// (0 in tune mode, where exploration is spread over the harvest).
     pub extraction_explored: u64,
+    /// Per-candidate simulation report when the kernel was optimized by
+    /// the simulation-guided tuner ([`tune_function`]); `None` for plain
+    /// static-cost extraction.
+    pub tuning: Option<KernelTuning>,
 }
 
 /// Optimize every kernel (innermost parallel loop) of a function.
@@ -136,6 +144,99 @@ pub fn optimize_function(
     let tm = TypeMap::from_function(f);
     optimize_block(&mut out.body, variant, config, &tm, &f.name, &mut stats)?;
     Ok((out, stats))
+}
+
+/// Optimize every kernel of a function with the **simulation-guided
+/// tuner**: instead of shipping the static-cost extraction winner, a
+/// harvest of structurally distinct candidates is lowered through codegen,
+/// simulated on `tcfg.device` under `tcfg.compiler`, and the candidate
+/// with the fewest simulated whole-launch cycles wins (ties broken by
+/// static cost, then candidate index). `bindings` supplies problem-size
+/// constants for trip counts, exactly as in benchmark evaluation.
+pub fn tune_function(
+    f: &Function,
+    variant: Variant,
+    config: &SaturatorConfig,
+    tcfg: &TuneConfig,
+    bindings: &HashMap<String, i64>,
+) -> Result<(Function, Vec<OptStats>), String> {
+    if variant == Variant::Original {
+        return Ok((f.clone(), Vec::new()));
+    }
+    let tm = TypeMap::from_function(f);
+    // one traversal definition, shared with the tuner: kernels are
+    // visited in `innermost_parallel_loops` order, and the tuned bodies
+    // splice back through the mutable twin of the same walk — the
+    // indices agree by construction
+    let kernel_bodies: Vec<Block> =
+        accsat_ir::innermost_parallel_loops(f).into_iter().map(|l| l.body.clone()).collect();
+    let mut stats = Vec::with_capacity(kernel_bodies.len());
+    let mut new_bodies = Vec::with_capacity(kernel_bodies.len());
+    for (kernel_index, body) in kernel_bodies.iter().enumerate() {
+        let (nb, st) =
+            tune_kernel_body(body, f, kernel_index, variant, config, tcfg, bindings, &tm)?;
+        new_bodies.push(nb);
+        stats.push(st);
+    }
+    let mut out = f.clone();
+    for (l, nb) in accsat_ir::innermost_parallel_loops_mut(&mut out).into_iter().zip(new_bodies) {
+        l.body = nb;
+    }
+    Ok((out, stats))
+}
+
+/// The tune-mode counterpart of [`optimize_kernel_body`]: saturate, then
+/// hand the e-graph to the autotuner, which harvests, lowers, simulates
+/// and ranks the candidates.
+#[allow(clippy::too_many_arguments)]
+fn tune_kernel_body(
+    body: &Block,
+    f: &Function,
+    kernel_index: usize,
+    variant: Variant,
+    config: &SaturatorConfig,
+    tcfg: &TuneConfig,
+    bindings: &HashMap<String, i64>,
+    tm: &TypeMap,
+) -> Result<(Block, OptStats), String> {
+    let sat = saturate_body(body, variant, config);
+    let Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats } = sat;
+
+    let t2 = Instant::now();
+    let copts = CodegenOptions { bulk_load: variant.bulk_loads() };
+    // harvest at full portfolio width: every strategy's selection is a
+    // candidate, regardless of how narrow the static extraction races
+    let mut pcfg = portfolio_config(config);
+    pcfg.threads = pcfg.threads.max(accsat_extract::STRATEGY_COUNT);
+    let tuned = tune_kernel(
+        f,
+        kernel_index,
+        &kernel,
+        tm,
+        &config.cost_model,
+        &pcfg,
+        &copts,
+        bindings,
+        tcfg,
+    )?;
+    let tune_time = t2.elapsed();
+
+    let stats = OptStats {
+        function: f.name.clone(),
+        ssa_codegen: ssa_time,
+        saturation: sat_time,
+        extraction: tune_time,
+        egraph_nodes: kernel.egraph.total_nodes(),
+        saturation_iters: iters,
+        stop_reason: stop,
+        rule_stats,
+        extracted_cost: tuned.tuning.winning().static_cost,
+        extraction_proven: tuned.tuning.winning().proven_optimal,
+        extraction_winner: "tune",
+        extraction_explored: 0,
+        tuning: Some(tuned.tuning),
+    };
+    Ok((tuned.body, stats))
 }
 
 fn optimize_block(
@@ -175,14 +276,19 @@ fn optimize_block(
     Ok(())
 }
 
-/// Run the e-graph pipeline on one kernel body.
-pub fn optimize_kernel_body(
-    body: &Block,
-    variant: Variant,
-    config: &SaturatorConfig,
-    tm: &TypeMap,
-    fname: &str,
-) -> Result<(Block, OptStats), String> {
+/// Outcome of the shared SSA + saturation front half of the pipeline
+/// (steps ① and ② — everything before an objective picks the code).
+struct Saturated {
+    kernel: accsat_ssa::SsaKernel,
+    ssa_time: Duration,
+    sat_time: Duration,
+    iters: usize,
+    stop: Option<StopReason>,
+    rule_stats: Vec<RuleStats>,
+}
+
+/// SSA-construct and (for saturating variants) saturate one kernel body.
+fn saturate_body(body: &Block, variant: Variant, config: &SaturatorConfig) -> Saturated {
     // 1. SSA construction (paper step ①)
     let t0 = Instant::now();
     let mut kernel = accsat_ssa::build_kernel(body);
@@ -199,17 +305,35 @@ pub fn optimize_kernel_body(
         (0, None, Vec::new())
     };
     let sat_time = t1.elapsed();
+    Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats }
+}
+
+/// The extraction portfolio configuration derived from a [`SaturatorConfig`].
+fn portfolio_config(config: &SaturatorConfig) -> PortfolioConfig {
+    PortfolioConfig {
+        threads: config.extraction_threads,
+        node_budget: config.extraction_node_budget,
+        deadline: config.extraction_budget,
+    }
+}
+
+/// Run the e-graph pipeline on one kernel body.
+pub fn optimize_kernel_body(
+    body: &Block,
+    variant: Variant,
+    config: &SaturatorConfig,
+    tm: &TypeMap,
+    fname: &str,
+) -> Result<(Block, OptStats), String> {
+    let sat = saturate_body(body, variant, config);
+    let Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats } = sat;
 
     // 3. extraction (LP objective, step ② part II) — a portfolio of
     // branch-and-bound strategies racing under a deterministic budget
     let t2 = Instant::now();
     let roots = kernel.extraction_roots();
     let cm = config.cost_model;
-    let portfolio_cfg = PortfolioConfig {
-        threads: config.extraction_threads,
-        node_budget: config.extraction_node_budget,
-        deadline: config.extraction_budget,
-    };
+    let portfolio_cfg = portfolio_config(config);
     let extraction = extract_portfolio(&kernel.egraph, &roots, &cm, &portfolio_cfg);
     let cost = extraction.cost;
     let extract_time = t2.elapsed();
@@ -236,6 +360,7 @@ pub fn optimize_kernel_body(
             extraction_proven: extraction.proven_optimal,
             extraction_winner: extraction.winner,
             extraction_explored: extraction.workers.iter().map(|w| w.explored).sum(),
+            tuning: None,
         },
     ))
 }
@@ -316,6 +441,36 @@ void k(double a[8], double out[8]) {
         let prog = parse_program(src).unwrap();
         let (_, stats) = optimize_program(&prog, Variant::Cse).unwrap();
         assert!(stats.iter().all(|s| s.rule_stats.is_empty()));
+    }
+
+    #[test]
+    fn tune_function_simulated_winner_beats_all_candidates() {
+        let src = r#"
+void k(double a[256], double out[256], double c) {
+  #pragma acc parallel loop gang vector
+  for (int i = 1; i < 255; i++) {
+    out[i] = c * a[i - 1] + c * a[i] + c * a[i + 1] + a[i] / c;
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let config = SaturatorConfig::default();
+        let tcfg = TuneConfig::default();
+        let (tuned, stats) =
+            tune_function(&prog.functions[0], Variant::AccSat, &config, &tcfg, &HashMap::new())
+                .unwrap();
+        assert_eq!(stats.len(), 1);
+        let t = stats[0].tuning.as_ref().expect("tune mode records tuning");
+        assert!(!t.candidates.is_empty());
+        for c in &t.candidates {
+            assert!(t.winning().cycles <= c.cycles, "winner must have minimal cycles");
+        }
+        assert_eq!(stats[0].extracted_cost, t.winning().static_cost);
+        assert_eq!(stats[0].extraction_winner, "tune");
+        // the tuned function still carries its directive and parses back
+        let text = accsat_ir::print_program(&accsat_ir::Program { functions: vec![tuned] });
+        assert!(text.contains("#pragma acc parallel loop"));
+        assert!(parse_program(&text).is_ok());
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub use bnb::{
 };
 pub use cost::CostModel;
 pub use greedy::extract_greedy;
-pub use portfolio::{extract_portfolio, PortfolioConfig, PortfolioResult, WorkerOutcome};
+pub use portfolio::{
+    extract_portfolio, extract_portfolio_k, HarvestedSelection, PortfolioConfig, PortfolioHarvest,
+    PortfolioResult, WorkerOutcome, STRATEGY_COUNT,
+};
 pub use selection::Selection;
 
 // Compile-time guarantee that extraction state crosses threads: the

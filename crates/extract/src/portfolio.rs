@@ -44,6 +44,11 @@ const STRATEGIES: &[(&str, ClassOrder, bool)] = &[
     ("bnb-lifo", ClassOrder::Lifo, false),
 ];
 
+/// Size of the fixed strategy table: the maximum useful portfolio width.
+/// The autotuner harvests at this width so every strategy's selection
+/// becomes a candidate.
+pub const STRATEGY_COUNT: usize = STRATEGIES.len();
+
 /// Portfolio configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PortfolioConfig {
@@ -96,18 +101,47 @@ pub struct PortfolioResult {
     pub workers: Vec<WorkerOutcome>,
 }
 
-/// Run the extraction portfolio over `roots`.
+/// One member of a [`PortfolioHarvest`]: a complete selection with its
+/// provenance, kept for downstream consumers (the autotuner) instead of
+/// being discarded when it loses the static-cost race.
+#[derive(Debug, Clone)]
+pub struct HarvestedSelection {
+    /// Strategy that produced this selection (`"greedy"` for the
+    /// incumbent, otherwise a branch-and-bound strategy name).
+    pub strategy: &'static str,
+    /// The selection itself.
+    pub selection: Selection,
+    /// DAG cost under the cost model the portfolio ran with.
+    pub cost: u64,
+    /// Did this member prove its selection optimal?
+    pub proven_optimal: bool,
+    /// Search-tree nodes explored (0 for the greedy incumbent).
+    pub explored: u64,
+}
+
+/// Everything the portfolio found, not just the winner — the keep-K API.
 ///
-/// The greedy incumbent is computed first; if its cost already meets the
-/// admissible root lower bound it is returned immediately as provably
-/// optimal (no search threads are spawned). Otherwise `config.threads`
-/// branch-and-bound workers race and the best deterministic result wins.
-pub fn extract_portfolio(
+/// `members[0]` is always the greedy incumbent; the remaining members are
+/// the racing branch-and-bound strategies in fixed strategy order. The
+/// list is deterministic for a fixed e-graph, cost model and config.
+#[derive(Debug, Clone)]
+pub struct PortfolioHarvest {
+    /// All member selections, greedy first then strategy order.
+    pub members: Vec<HarvestedSelection>,
+    /// Index of the winning member: lowest cost, ties broken toward the
+    /// branch-and-bound members in strategy order (matching
+    /// [`extract_portfolio`]), then the greedy incumbent.
+    pub winner: usize,
+}
+
+/// Shared portfolio core: greedy incumbent plus (unless the incumbent is
+/// proven optimal outright) the racing branch-and-bound strategies.
+fn run_portfolio(
     eg: &EGraph,
     roots: &[Id],
     cm: &CostModel,
     config: &PortfolioConfig,
-) -> PortfolioResult {
+) -> (Selection, u64, bool, Vec<(&'static str, crate::bnb::ExactResult)>) {
     let greedy = extract_greedy(eg, roots, cm);
     let greedy_cost = greedy.dag_cost(eg, cm, roots);
     // built once, shared by every worker (the context is immutable and
@@ -116,18 +150,7 @@ pub fn extract_portfolio(
     if greedy_cost <= cx.root_lower_bound(roots) {
         // the incumbent meets the admissible bound: provably optimal
         // without any branching
-        return PortfolioResult {
-            selection: greedy,
-            cost: greedy_cost,
-            proven_optimal: true,
-            winner: "greedy",
-            workers: vec![WorkerOutcome {
-                strategy: "greedy",
-                cost: greedy_cost,
-                proven_optimal: true,
-                explored: 0,
-            }],
-        };
+        return (greedy, greedy_cost, true, Vec::new());
     }
 
     let width = config.threads.clamp(1, STRATEGIES.len());
@@ -164,6 +187,36 @@ pub fn extract_portfolio(
             handles.into_iter().map(|h| h.join().expect("portfolio worker panicked")).collect()
         })
     };
+    (greedy, greedy_cost, false, results)
+}
+
+/// Run the extraction portfolio over `roots`.
+///
+/// The greedy incumbent is computed first; if its cost already meets the
+/// admissible root lower bound it is returned immediately as provably
+/// optimal (no search threads are spawned). Otherwise `config.threads`
+/// branch-and-bound workers race and the best deterministic result wins.
+pub fn extract_portfolio(
+    eg: &EGraph,
+    roots: &[Id],
+    cm: &CostModel,
+    config: &PortfolioConfig,
+) -> PortfolioResult {
+    let (greedy, greedy_cost, short_circuit, results) = run_portfolio(eg, roots, cm, config);
+    if short_circuit {
+        return PortfolioResult {
+            selection: greedy,
+            cost: greedy_cost,
+            proven_optimal: true,
+            winner: "greedy",
+            workers: vec![WorkerOutcome {
+                strategy: "greedy",
+                cost: greedy_cost,
+                proven_optimal: true,
+                explored: 0,
+            }],
+        };
+    }
 
     let workers: Vec<WorkerOutcome> = results
         .iter()
@@ -188,6 +241,55 @@ pub fn extract_portfolio(
         winner,
         workers,
     }
+}
+
+/// Keep-K extraction: run the portfolio and return **every** member's
+/// selection instead of only the winner's.
+///
+/// This is the candidate harvest of the autotuning loop: the greedy
+/// incumbent and each branch-and-bound strategy's best selection are all
+/// structurally interesting points of the selection space (tree-optimal
+/// duplication vs. DAG-optimal sharing vs. alternate shapes found by
+/// different search orders), and a simulator — not the static cost model —
+/// gets the final say between them.
+///
+/// When the greedy incumbent is proven optimal outright the harvest
+/// contains just that one member, exactly as [`extract_portfolio`]
+/// short-circuits. Members are *not* deduplicated here; callers that care
+/// (the autotuner) dedup by [`Selection::content_hash`].
+pub fn extract_portfolio_k(
+    eg: &EGraph,
+    roots: &[Id],
+    cm: &CostModel,
+    config: &PortfolioConfig,
+) -> PortfolioHarvest {
+    let (greedy, greedy_cost, short_circuit, results) = run_portfolio(eg, roots, cm, config);
+    let mut members = vec![HarvestedSelection {
+        strategy: "greedy",
+        selection: greedy,
+        cost: greedy_cost,
+        proven_optimal: short_circuit,
+        explored: 0,
+    }];
+    if short_circuit {
+        return PortfolioHarvest { members, winner: 0 };
+    }
+    for (name, r) in results {
+        members.push(HarvestedSelection {
+            strategy: name,
+            selection: r.selection,
+            cost: r.cost,
+            proven_optimal: r.proven_optimal,
+            explored: r.explored,
+        });
+    }
+    // same winner the plain portfolio reports: best strategy by
+    // (cost, strategy order); the seeded incumbent can never beat its own
+    // workers, so greedy only wins via the short-circuit above
+    let winner = (1..members.len())
+        .min_by_key(|&i| (members[i].cost, i))
+        .expect("non-short-circuit portfolio has at least one strategy member");
+    PortfolioHarvest { members, winner }
 }
 
 #[cfg(test)]
@@ -288,5 +390,59 @@ mod tests {
         let res2 = extract_portfolio(&eg, &roots, &cm, &PortfolioConfig::default());
         assert!(res2.proven_optimal);
         assert!(res2.cost < res.cost);
+    }
+
+    #[test]
+    fn harvest_keeps_greedy_and_all_strategies() {
+        let (eg, roots) = sharing_graph();
+        let cm = CostModel::paper();
+        let cfg = PortfolioConfig { threads: 3, ..PortfolioConfig::default() };
+        let harvest = extract_portfolio_k(&eg, &roots, &cm, &cfg);
+        let plain = extract_portfolio(&eg, &roots, &cm, &cfg);
+        assert_eq!(harvest.members[0].strategy, "greedy");
+        if harvest.members.len() > 1 {
+            // keep-K must agree with the plain portfolio on the winner
+            assert_eq!(harvest.members.len(), 4, "greedy + 3 strategies");
+            let w = &harvest.members[harvest.winner];
+            assert_eq!(w.cost, plain.cost);
+            assert_eq!(w.strategy, plain.winner);
+            for r in &roots {
+                assert_eq!(w.selection.term_string(&eg, *r), plain.selection.term_string(&eg, *r));
+            }
+        }
+        // every member is a complete, costable selection
+        for m in &harvest.members {
+            assert_eq!(m.selection.dag_cost(&eg, &cm, &roots), m.cost);
+        }
+    }
+
+    #[test]
+    fn harvest_short_circuit_is_single_member() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let ab = eg.add(Node::new(Op::Add, vec![a, b]));
+        let r = eg.add(Node::new(Op::Mul, vec![ab, a]));
+        let cm = CostModel::paper();
+        let harvest = extract_portfolio_k(&eg, &[r], &cm, &PortfolioConfig::default());
+        assert_eq!(harvest.members.len(), 1);
+        assert_eq!(harvest.winner, 0);
+        assert!(harvest.members[0].proven_optimal);
+    }
+
+    #[test]
+    fn harvest_members_hash_dedup() {
+        // on the zero-budget graph every strategy returns the greedy
+        // incumbent, so all member hashes collapse to one
+        let (eg, roots) = sharing_graph();
+        let cm = CostModel::paper();
+        let cfg = PortfolioConfig { threads: 4, node_budget: 1, ..PortfolioConfig::default() };
+        let harvest = extract_portfolio_k(&eg, &roots, &cm, &cfg);
+        let h0 = harvest.members[0].selection.content_hash(&eg, &roots);
+        for m in &harvest.members {
+            if m.cost == harvest.members[0].cost {
+                assert_eq!(m.selection.content_hash(&eg, &roots), h0);
+            }
+        }
     }
 }

@@ -122,6 +122,36 @@ impl Selection {
         false
     }
 
+    /// Content hash of the selection as seen from `roots`: a stable 64-bit
+    /// FNV-1a digest over the chosen node of every reachable class, in
+    /// deterministic children-before-parents order. Two selections hash
+    /// equal exactly when they choose the same node for every class
+    /// reachable from `roots` — the autotuner uses this to drop
+    /// structurally identical candidates before spending simulation budget
+    /// on them. (Classes outside the reachable closure never influence the
+    /// generated kernel's computation, so they are excluded on purpose.)
+    pub fn content_hash(&self, eg: &EGraph, roots: &[Id]) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for id in self.reachable(eg, roots) {
+            let node = self.node(eg, id);
+            mix(&(id.index() as u64).to_le_bytes());
+            mix(node.op.name().as_bytes());
+            mix(&(node.children.len() as u64).to_le_bytes());
+            for &c in &node.children {
+                mix(&(eg.find(c).index() as u64).to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Render the selected term for a root as an s-expression (debugging).
     pub fn term_string(&self, eg: &EGraph, id: Id) -> String {
         let node = self.node(eg, id);
@@ -179,6 +209,32 @@ mod tests {
         assert_eq!(sel.dag_cost(&eg, &cm, &[r]), 21);
         // Tree: mul(10) + 2 * (add(10) + 2 * a(1)) = 34
         assert_eq!(sel.tree_cost(&eg, &cm, r), 34);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_choices() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let div = eg.add(Node::new(Op::Div, vec![a, b]));
+        let mul = eg.add(Node::new(Op::Mul, vec![a, b]));
+        eg.union(div, mul);
+        eg.rebuild();
+        let mut s1 = Selection::new();
+        s1.choose(&eg, a, Node::sym("a"));
+        s1.choose(&eg, b, Node::sym("b"));
+        s1.choose(&eg, div, Node::new(Op::Div, vec![a, b]));
+        let mut s2 = s1.clone();
+        s2.choose(&eg, div, Node::new(Op::Mul, vec![a, b]));
+        let roots = [div];
+        // same selection hashes equal, different node choice hashes apart
+        assert_eq!(s1.content_hash(&eg, &roots), s1.clone().content_hash(&eg, &roots));
+        assert_ne!(s1.content_hash(&eg, &roots), s2.content_hash(&eg, &roots));
+        // classes outside the reachable closure do not affect the hash
+        let mut s3 = s2.clone();
+        let c = eg.add(Node::sym("c"));
+        s3.choose(&eg, c, Node::sym("c"));
+        assert_eq!(s2.content_hash(&eg, &roots), s3.content_hash(&eg, &roots));
     }
 
     #[test]

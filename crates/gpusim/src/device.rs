@@ -6,6 +6,7 @@
 /// published microbenchmark latencies (Jia et al.).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Device {
+    /// Marketing name of the modeled part.
     pub name: &'static str,
     /// Streaming multiprocessors.
     pub num_sms: u32,

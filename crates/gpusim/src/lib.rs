@@ -22,6 +22,8 @@
 //! Table IV metrics (time/launch, instructions, memory utilization,
 //! registers/thread, SM occupancy).
 
+#![warn(missing_docs)]
+
 pub mod device;
 pub mod metrics;
 pub mod scoreboard;

@@ -45,30 +45,50 @@ impl Coalescing {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimOp {
     /// FP64 add/mul/fma (one pipe slot each — that is the FMA advantage).
-    /// `kind` identifies the operation for the compiler models' value
-    /// numbering (0=add, 1=sub, 2=mul, 3=fma, 4=neg, 5=select, 6=other).
-    Flop { kind: u8 },
+    Flop {
+        /// Operation identifier for the compiler models' value numbering
+        /// (0=add, 1=sub, 2=mul, 3=fma, 4=neg, 5=select, 6=other).
+        kind: u8,
+    },
     /// FP64 divide / math call (long-latency special pipe).
     Special,
     /// Integer/logic op.
     IAlu,
     /// Global-memory load.
-    Load { coalescing: Coalescing, key: u64, base: u64 },
+    Load {
+        /// Warp-wide transaction size class from the coalescing analysis.
+        coalescing: Coalescing,
+        /// Static address key (hash of base array + index expressions).
+        key: u64,
+        /// Base-array key, for store clobbering in load elimination.
+        base: u64,
+    },
     /// Global-memory store.
-    Store { coalescing: Coalescing, key: u64, base: u64 },
+    Store {
+        /// Warp-wide transaction size class from the coalescing analysis.
+        coalescing: Coalescing,
+        /// Static address key (hash of base array + index expressions).
+        key: u64,
+        /// Base-array key, for store clobbering in load elimination.
+        base: u64,
+    },
 }
 
 /// One instruction: op, source registers, optional destination.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimInst {
+    /// The simulated operation.
     pub op: SimOp,
+    /// Source registers read by the instruction.
     pub srcs: Vec<Reg>,
+    /// Destination register written, if any.
     pub dst: Option<Reg>,
 }
 
 /// A per-thread instruction trace.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
+    /// The instruction stream of one representative thread.
     pub insts: Vec<SimInst>,
     /// Number of virtual registers used.
     pub num_regs: u32,

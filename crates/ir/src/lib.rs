@@ -70,6 +70,42 @@ fn collect_innermost<'a>(block: &'a Block, out: &mut Vec<&'a ast::ForLoop>) {
     }
 }
 
+/// Mutable variant of [`innermost_parallel_loops`]: the same loops, in the
+/// same program order, borrowed mutably. The autotuner uses this to splice
+/// a tuned candidate body back into a cloned function.
+pub fn innermost_parallel_loops_mut(f: &mut Function) -> Vec<&mut ast::ForLoop> {
+    let mut out = Vec::new();
+    collect_innermost_mut(&mut f.body, &mut out);
+    out
+}
+
+fn collect_innermost_mut<'a>(block: &'a mut Block, out: &mut Vec<&'a mut ast::ForLoop>) {
+    for stmt in &mut block.stmts {
+        match stmt {
+            Stmt::For(l) => {
+                if l.directive.is_some() {
+                    if has_directive_loop(&l.body) {
+                        collect_innermost_mut(&mut l.body, out);
+                    } else {
+                        out.push(l);
+                    }
+                } else {
+                    collect_innermost_mut(&mut l.body, out);
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                collect_innermost_mut(then, out);
+                if let Some(e) = els {
+                    collect_innermost_mut(e, out);
+                }
+            }
+            Stmt::While { body, .. } => collect_innermost_mut(body, out),
+            Stmt::Block(b) => collect_innermost_mut(b, out),
+            _ => {}
+        }
+    }
+}
+
 /// Does the block contain a loop that carries a parallelism directive?
 pub fn has_directive_loop(block: &Block) -> bool {
     block.stmts.iter().any(|s| match s {

@@ -1,0 +1,192 @@
+//! Property-based tests for the simulation-guided autotuner: the tuned
+//! winner must never lose the simulation it won, the static winner must
+//! be the static-cost argmin, and the whole tuning report must be
+//! byte-identical at any thread count — the same determinism contract the
+//! batch driver keeps.
+//!
+//! Failing seeds persist to `proptest-regressions/property_autotune.txt`
+//! and re-run first on every execution.
+
+use accsat::autotune::TuneConfig;
+use accsat::batch::{tune_suite, ParallelConfig};
+use accsat::{tune_function, SaturatorConfig, Variant};
+use accsat_egraph::RunnerLimits;
+use accsat_ir::parse_program;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A random stencil-flavored expression over the kernel's loads and
+/// scalar parameters.
+#[derive(Debug, Clone)]
+enum E {
+    Leaf(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+}
+
+/// The leaves: halo loads, a second array, and scalar parameters —
+/// enough variety for extraction candidates to differ in sharing.
+const LEAVES: &[&str] = &["a[i - 1]", "a[i]", "a[i + 1]", "b[i]", "c0", "c1", "2.0"];
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = (0usize..LEAVES.len()).prop_map(E::Leaf);
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::Leaf(i) => LEAVES[*i].to_string(),
+        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        E::Div(a, b) => format!("({} / {})", render(a), render(b)),
+    }
+}
+
+/// Wrap two random expressions into a parallel-loop kernel. Both
+/// statements see the same loads, so sharing across statements is where
+/// greedy and branch-and-bound candidates genuinely differ.
+fn kernel_source(e1: &E, e2: &E) -> String {
+    format!(
+        "void k(double a[64], double b[64], double out[64], double c0, double c1) {{\n\
+         #pragma acc parallel loop gang vector\n\
+         for (int i = 1; i < 63; i++) {{\n\
+         out[i] = {};\n\
+         b[i] = {};\n\
+         }}\n\
+         }}\n",
+        render(e1),
+        render(e2)
+    )
+}
+
+/// Small, fully deterministic limits so debug-build property runs stay
+/// fast: the node budget binds, never the wall clock.
+fn fast_config() -> SaturatorConfig {
+    SaturatorConfig {
+        limits: RunnerLimits { node_limit: 1500, iter_limit: 3, ..Default::default() },
+        extraction_node_budget: 10_000,
+        extraction_budget: Duration::from_secs(60),
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tuner's core contract: the winner has minimal simulated cycles
+    /// over every simulated candidate — including the static-cost winner
+    /// — with the documented deterministic tie-break, and the reported
+    /// static winner really is the static-cost argmin.
+    #[test]
+    fn winner_minimizes_simulated_cycles(e1 in expr_strategy(), e2 in expr_strategy()) {
+        let src = kernel_source(&e1, &e2);
+        let prog = parse_program(&src).unwrap();
+        let (_, stats) = tune_function(
+            &prog.functions[0],
+            Variant::AccSat,
+            &fast_config(),
+            &TuneConfig::default(),
+            &HashMap::new(),
+        ).unwrap();
+        prop_assert!(stats.len() == 1);
+        let t = stats[0].tuning.as_ref().expect("tuning recorded");
+        prop_assert!(t.winner < t.candidates.len());
+        prop_assert!(t.static_winner < t.candidates.len());
+        let win = t.winning();
+        for (ci, c) in t.candidates.iter().enumerate() {
+            prop_assert!(win.cycles <= c.cycles,
+                "winner {} cycles {} lost to `{}` with {}",
+                win.label, win.cycles, c.label, c.cycles);
+            // the tie-break is (cycles, static_cost, index): nothing with
+            // equal cycles may beat the winner on static cost
+            if ci != t.winner && c.cycles == win.cycles {
+                prop_assert!(
+                    (win.static_cost, t.winner) < (c.static_cost, ci),
+                    "tie-break violated: `{}` ({}, {}) vs winner `{}` ({}, {})",
+                    c.label, c.cycles, c.static_cost, win.label, win.cycles, win.static_cost);
+            }
+            prop_assert!(t.static_winning().static_cost <= c.static_cost);
+        }
+        // content hashes are pairwise distinct after dedup
+        for i in 0..t.candidates.len() {
+            for j in i + 1..t.candidates.len() {
+                prop_assert!(t.candidates[i].content_hash != t.candidates[j].content_hash);
+            }
+        }
+    }
+
+    /// Thread counts must never leak into the result: the winning body,
+    /// every candidate row, and both verdict indices are identical
+    /// whether candidates are simulated sequentially or on 8 workers.
+    #[test]
+    fn tuning_is_thread_count_invariant(e1 in expr_strategy(), e2 in expr_strategy()) {
+        let src = kernel_source(&e1, &e2);
+        let prog = parse_program(&src).unwrap();
+        let cfg = fast_config();
+        let run = |threads: usize| {
+            let tcfg = TuneConfig { threads, ..TuneConfig::default() };
+            tune_function(&prog.functions[0], Variant::AccSat, &cfg, &tcfg, &HashMap::new())
+                .unwrap()
+        };
+        let (f1, s1) = run(1);
+        for threads in [2usize, 8] {
+            let (fn_, sn) = run(threads);
+            prop_assert!(
+                accsat_ir::print_program(&accsat_ir::Program { functions: vec![fn_.clone()] })
+                    == accsat_ir::print_program(&accsat_ir::Program { functions: vec![f1.clone()] }),
+                "threads={} produced a different tuned function", threads);
+            let (t1, tn) = (s1[0].tuning.as_ref().unwrap(), sn[0].tuning.as_ref().unwrap());
+            prop_assert!(t1.winner == tn.winner && t1.static_winner == tn.static_winner);
+            prop_assert!(t1.candidates.len() == tn.candidates.len());
+            for (a, b) in t1.candidates.iter().zip(&tn.candidates) {
+                prop_assert!(a.label == b.label);
+                prop_assert!(a.cycles == b.cycles);
+                prop_assert!(a.static_cost == b.static_cost);
+                prop_assert!(a.content_hash == b.content_hash);
+            }
+        }
+    }
+}
+
+/// The batch-level mirror of `parallel_equals_sequential_byte_for_byte`:
+/// a tuned suite renders byte-identical tables, JSON and sources at any
+/// thread count.
+#[test]
+fn tuned_suite_is_byte_identical_across_thread_counts() {
+    let suite: Vec<_> = accsat_benchmarks::npb_benchmarks()
+        .into_iter()
+        .filter(|b| b.name == "SP" || b.name == "MG")
+        .collect();
+    let cfg = fast_config();
+    let tcfg = TuneConfig::default();
+    let run = |threads| {
+        tune_suite(
+            &suite,
+            Variant::AccSat,
+            &cfg,
+            &tcfg,
+            &ParallelConfig { threads, kernel_deadline: None, shard: None },
+        )
+        .unwrap()
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        let other = run(threads);
+        assert_eq!(base.render_tuning_table(), other.render_tuning_table(), "threads={threads}");
+        assert_eq!(base.to_stable_json(), other.to_stable_json(), "threads={threads}");
+        for (a, b) in base.benchmarks.iter().zip(&other.benchmarks) {
+            assert_eq!(a.optimized_source, b.optimized_source, "{}", a.benchmark);
+        }
+    }
+}
