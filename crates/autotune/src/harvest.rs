@@ -31,15 +31,20 @@ pub struct Candidate {
 #[derive(Debug, Clone)]
 pub struct Harvest {
     /// Structurally distinct candidates, in deterministic harvest order:
-    /// base-portfolio members first (greedy, then strategy order), then
-    /// cost-sweep winners in sweep order, deduplicated by content hash and
-    /// truncated to the keep-K cap.
+    /// base-portfolio members first (greedy, then the refined incumbent
+    /// when it improves, then strategy order), then cost-sweep winners in
+    /// sweep order, deduplicated by content hash and truncated to the
+    /// keep-K cap.
     pub candidates: Vec<Candidate>,
     /// Candidates produced before deduplication and truncation.
     pub harvested: usize,
     /// Index of the static winner among `candidates`: lowest base-model
     /// cost, ties toward the earlier candidate.
     pub static_winner: usize,
+    /// The strongest certified lower bound on the optimal base-model DAG
+    /// cost, from the base portfolio (the static winner's proven cost, or
+    /// the LP-relaxation root bound when no member proved optimality).
+    pub lower_bound: u64,
 }
 
 /// Harvest up to `keep` structurally distinct candidates from the
@@ -63,6 +68,7 @@ pub fn harvest_candidates(
     // 1. the base portfolio, kept whole: greedy incumbent + every
     //    branch-and-bound strategy's best selection
     let base = extract_portfolio_k(eg, roots, base_cm, pcfg);
+    let lower_bound = base.lower_bound;
     for m in base.members {
         let content_hash = m.selection.content_hash(eg, roots);
         raw.push(Candidate {
@@ -110,7 +116,7 @@ pub fn harvest_candidates(
         .min_by_key(|&i| (candidates[i].static_cost, i))
         .expect("harvest always contains the greedy incumbent");
 
-    Harvest { candidates, harvested, static_winner }
+    Harvest { candidates, harvested, static_winner, lower_bound }
 }
 
 #[cfg(test)]

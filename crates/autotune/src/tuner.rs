@@ -84,6 +84,11 @@ pub struct KernelTuning {
     /// Index of the static-cost winner: lowest `(static_cost, index)` —
     /// what plain extraction would have shipped.
     pub static_winner: usize,
+    /// The strongest certified lower bound on the optimal *static* DAG
+    /// cost (from the harvest's base portfolio). The simulated winner may
+    /// ship a static cost above this on purpose — the tuner's objective is
+    /// cycles, not the §V-B model.
+    pub lower_bound: u64,
 }
 
 impl KernelTuning {
@@ -239,7 +244,7 @@ pub fn tune_kernel(
     cfg: &TuneConfig,
 ) -> Result<TunedKernel, String> {
     let roots = kernel.extraction_roots();
-    let Harvest { candidates, harvested, static_winner } =
+    let Harvest { candidates, harvested, static_winner, lower_bound } =
         harvest_candidates(&kernel.egraph, &roots, base_cm, pcfg, &cfg.sweep, cfg.keep);
 
     // lower every candidate through the existing codegen path
@@ -305,6 +310,7 @@ pub fn tune_kernel(
             candidates: reports,
             winner,
             static_winner,
+            lower_bound,
         },
         body,
     })

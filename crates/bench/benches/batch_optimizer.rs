@@ -129,11 +129,74 @@ fn bench_budget_mode(c: &mut Criterion) {
     group.finish();
 }
 
+/// Bound-ablation on the hardest kernel (BT z_solve): how much of the
+/// search does each pruning layer remove? Every configuration runs the
+/// same 60 k-node budget with the wall valve out of the way, so the
+/// measured wall time tracks per-node cost × nodes actually explored
+/// (layers that prove early stop early). Layers, cumulative:
+///
+/// * `forced-bound`   — PR 3 state: dominance pruning + forced-children
+///   memo bound, every class branched.
+/// * `+lp-bound`      — the LP-relaxation required-set bound.
+/// * `+chain-closure` — φ-chain forced closures (singletons decided free).
+/// * `+closure-dom`   — closure-subset dominance + orbit collapse + the
+///   full default context (what the portfolio ships).
+fn bench_bound_ablation(c: &mut Criterion) {
+    use accsat_extract::{
+        extract_exact_in, extract_greedy, ContextOptions, CostModel, SearchContext, SearchOptions,
+    };
+
+    // saturate BT z_solve once, outside the timed region
+    let bench = accsat_benchmarks::npb_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "BT")
+        .expect("BT in the NPB suite");
+    let prog = accsat_ir::parse_program(&bench.acc_source).unwrap();
+    let f = prog.functions.iter().find(|f| f.name == "bt_zsolve").expect("bt_zsolve");
+    let body = &accsat_ir::innermost_parallel_loops(f)[0].body;
+    let mut kernel = accsat_ssa::build_kernel(body);
+    accsat_egraph::Runner::new(accsat_egraph::all_rules()).run(&mut kernel.egraph);
+    let eg = &kernel.egraph;
+    let roots = kernel.extraction_roots();
+    let cm = CostModel::paper();
+    let greedy = extract_greedy(eg, &roots, &cm);
+    let greedy_cost = greedy.dag_cost(eg, &cm, &roots);
+
+    let base_opts = SearchOptions {
+        node_budget: 60_000,
+        deadline: std::time::Duration::from_secs(600),
+        ..SearchOptions::default()
+    };
+    let legacy_cx = ContextOptions { orbit: false, dominance: true, closure_dominance: false };
+    let full_cx = ContextOptions::default();
+    let configs: [(&str, ContextOptions, SearchOptions); 4] = [
+        (
+            "forced-bound",
+            legacy_cx,
+            SearchOptions { lp_bound: false, chain_closure: false, ..base_opts },
+        ),
+        ("lp-bound", legacy_cx, SearchOptions { chain_closure: false, ..base_opts }),
+        ("chain-closure", legacy_cx, base_opts),
+        ("closure-dom", full_cx, base_opts),
+    ];
+
+    let mut group = c.benchmark_group("bound_ablation");
+    group.sample_size(10);
+    for (name, cx_opts, opts) in configs {
+        let cx = SearchContext::build_with(eg, &cm, &cx_opts);
+        group.bench_with_input(BenchmarkId::new("bt_zsolve", name), &opts, |b, opts| {
+            b.iter(|| extract_exact_in(&cx, &roots, &greedy, greedy_cost, opts))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_batch_threads,
     bench_batch_vs_naive,
     bench_portfolio_width,
-    bench_budget_mode
+    bench_budget_mode,
+    bench_bound_ablation
 );
 criterion_main!(benches);

@@ -125,6 +125,23 @@ impl BatchReport {
         self.benchmarks.iter().map(|b| b.kernel_stats().count()).sum()
     }
 
+    /// Kernels whose extraction was proven DAG-optimal.
+    pub fn proven_kernels(&self) -> usize {
+        self.benchmarks
+            .iter()
+            .map(|b| b.kernel_stats().filter(|s| s.extraction_proven).count())
+            .sum()
+    }
+
+    /// Sum of per-kernel bound gaps ([`OptStats::bound_gap`]) — `0` when
+    /// every kernel of a plain batch is certified optimal. (In tune mode
+    /// the gap also counts static cost the simulator deliberately spent,
+    /// so it can be positive on proven kernels — see
+    /// [`OptStats::extraction_lower_bound`].)
+    pub fn total_bound_gap(&self) -> u64 {
+        self.benchmarks.iter().flat_map(|b| b.kernel_stats()).map(|s| s.bound_gap()).sum()
+    }
+
     /// Sum of per-work-item wall times: the sequential work the pool
     /// compressed into `wall`.
     pub fn sequential_work(&self) -> Duration {
@@ -140,6 +157,7 @@ impl BatchReport {
                 let kernels = b.kernel_stats().count();
                 let nodes: usize = b.kernel_stats().map(|s| s.egraph_nodes).sum();
                 let proven = b.kernel_stats().filter(|s| s.extraction_proven).count();
+                let gap: u64 = b.kernel_stats().map(|s| s.bound_gap()).sum();
                 let sat_ms: f64 = b.kernel_stats().map(|s| s.saturation.as_secs_f64() * 1e3).sum();
                 let ext_ms: f64 = b.kernel_stats().map(|s| s.extraction.as_secs_f64() * 1e3).sum();
                 vec![
@@ -148,13 +166,14 @@ impl BatchReport {
                     nodes.to_string(),
                     b.total_cost().to_string(),
                     format!("{proven}/{kernels}"),
+                    gap.to_string(),
                     format!("{sat_ms:.1}"),
                     format!("{ext_ms:.1}"),
                 ]
             })
             .collect();
         crate::report::render_table(
-            &["Benchmark", "Kernels", "E-nodes", "Cost", "Optimal", "Sat ms", "Extract ms"],
+            &["Benchmark", "Kernels", "E-nodes", "Cost", "Optimal", "Gap", "Sat ms", "Extract ms"],
             &rows,
         )
     }
@@ -261,12 +280,15 @@ impl BatchReport {
                 out.push_str(&format!(
                     "      {{\"function\": \"{}\", \"egraph_nodes\": {}, \
                      \"iterations\": {}, \"cost\": {}, \"proven_optimal\": {}, \
+                     \"lower_bound\": {}, \"bound_gap\": {}, \
                      \"winner\": \"{}\", \"explored\": {}",
                     escape(func),
                     s.egraph_nodes,
                     s.saturation_iters,
                     s.extracted_cost,
                     s.extraction_proven,
+                    s.extraction_lower_bound,
+                    s.bound_gap(),
                     s.extraction_winner,
                     s.extraction_explored,
                 ));

@@ -241,9 +241,11 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
         let wall = report.wall.as_secs_f64();
         let work = report.sequential_work().as_secs_f64();
         println!(
-            "{} kernels, total cost {}, wall {:.2} s on {} threads \
-             (Σ kernel time {:.2} s, {:.2}x)",
+            "{} kernels ({} proven optimal, bound gap {}), total cost {}, \
+             wall {:.2} s on {} threads (Σ kernel time {:.2} s, {:.2}x)",
             report.total_kernels(),
+            report.proven_kernels(),
+            report.total_bound_gap(),
             report.total_cost(),
             wall,
             report.threads,

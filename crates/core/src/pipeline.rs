@@ -124,10 +124,29 @@ pub struct OptStats {
     /// Branch-and-bound nodes explored across all portfolio members
     /// (0 in tune mode, where exploration is spread over the harvest).
     pub extraction_explored: u64,
+    /// The strongest certified lower bound on the kernel's optimal DAG
+    /// cost. For plain extraction this equals `extracted_cost` whenever
+    /// `extraction_proven`. In tune mode the proven flag describes the
+    /// *winning candidate's own search* (possibly under a sweep cost
+    /// model) while this bound stays the base-model bound, so a proven
+    /// tune winner can still report a positive [`OptStats::bound_gap`] —
+    /// the static cost the simulator deliberately spent. See
+    /// [`OptStats::bound_gap`].
+    pub extraction_lower_bound: u64,
     /// Per-candidate simulation report when the kernel was optimized by
     /// the simulation-guided tuner ([`tune_function`]); `None` for plain
     /// static-cost extraction.
     pub tuning: Option<KernelTuning>,
+}
+
+impl OptStats {
+    /// How far the shipped cost sits above the certified lower bound:
+    /// `0` for proven-optimal extractions; for budget-stopped kernels the
+    /// honest distance the branch-and-bound could not close (and in tune
+    /// mode, additionally the static cost the simulator chose to spend).
+    pub fn bound_gap(&self) -> u64 {
+        self.extracted_cost.saturating_sub(self.extraction_lower_bound)
+    }
 }
 
 /// Optimize every kernel (innermost parallel loop) of a function.
@@ -234,6 +253,7 @@ fn tune_kernel_body(
         extraction_proven: tuned.tuning.winning().proven_optimal,
         extraction_winner: "tune",
         extraction_explored: 0,
+        extraction_lower_bound: tuned.tuning.lower_bound,
         tuning: Some(tuned.tuning),
     };
     Ok((tuned.body, stats))
@@ -360,6 +380,7 @@ pub fn optimize_kernel_body(
             extraction_proven: extraction.proven_optimal,
             extraction_winner: extraction.winner,
             extraction_explored: extraction.workers.iter().map(|w| w.explored).sum(),
+            extraction_lower_bound: extraction.lower_bound,
             tuning: None,
         },
     ))

@@ -5,24 +5,46 @@
 //! the sum of op costs over *distinct* selected classes is minimal. The
 //! search branches on the node choice of one undecided class at a time.
 //!
-//! Beyond the textbook search, three strengthenings keep the explored tree
+//! Beyond the textbook search, six strengthenings keep the explored tree
 //! small (they are what lets the portfolio in [`crate::portfolio`] prove
 //! optimality on benchmark kernels within a deterministic budget):
 //!
-//! * **Dominated-node pruning** — inside one e-class, a node whose operator
-//!   cost and *set* of child classes are both no better than another node's
-//!   can never appear in an optimal DAG selection (DAG cost counts each
-//!   class once, so child multiplicity is irrelevant); such nodes are
-//!   dropped from the candidate lists before the search starts.
-//! * **Memoized per-class lower bounds** — for every class the *forced
-//!   children* (classes that are a child under every surviving candidate)
-//!   are precomputed once; whenever a class becomes required, the closure
-//!   of its forced children is charged into the admissible bound
-//!   immediately instead of one branching level at a time.
+//! * **Symmetry breaking** ([`ContextOptions::orbit`]) — commuted
+//!   candidates (same operator, same canonical child multiset, e.g.
+//!   `add(a, b)` and `add(b, a)` after the commutativity rule fired) form
+//!   an orbit with identical DAG cost under every completion; only the
+//!   canonically least representative survives, so the search explores one
+//!   member per orbit.
+//! * **Dominated-node pruning** ([`ContextOptions::dominance`]) — inside
+//!   one e-class, a node whose operator cost and *set* of child classes
+//!   are both no better than another node's can never appear in an optimal
+//!   DAG selection (DAG cost counts each class once, so child multiplicity
+//!   is irrelevant); such nodes are dropped before the search starts.
+//! * **Closure-subset dominance** ([`ContextOptions::closure_dominance`])
+//!   — the deep generalization of the child-set rule: a candidate dies
+//!   when an equal-or-cheaper classmate's *LP required-set closure* is
+//!   contained in its own (plus the class's forced set), because
+//!   everything the classmate forces is already paid wherever the victim
+//!   was chosen. Iterated with the LP fixpoint until stable; gated on the
+//!   candidate graph being acyclic, where the switch cannot close a
+//!   cycle.
+//! * **Fractional lower bounds** ([`SearchOptions::lp_bound`]) — the
+//!   in-crate LP-relaxation stand-in of [`crate::lp`]: per-class required
+//!   *sets* computed as a least fixpoint with shared-subterm credit,
+//!   charged incrementally against the branch's bitset of already-counted
+//!   classes. Strictly subsumes the forced-children closure bound, which
+//!   is kept as the `lp_bound: false` fallback and for ablation.
+//! * **φ-chain forced closures** ([`SearchOptions::chain_closure`]) — a
+//!   required class with a single surviving candidate (after pruning) has
+//!   no decision to make: it is chosen immediately and its children are
+//!   required transitively, so whole φ/select/load chains with one live
+//!   choice are charged as a forced closure instead of being re-branched
+//!   one class per search level. Forced chains consume no explored-node
+//!   budget.
 //! * **Best-first class ordering** — the next class to branch on is chosen
-//!   by a deterministic heuristic ([`ClassOrder`]) rather than stack order;
-//!   most-constrained-first collapses large parts of the search into
-//!   forced moves.
+//!   by a deterministic heuristic ([`ClassOrder`]) rather than stack
+//!   order; most-constrained-first collapses large parts of the search
+//!   into forced moves.
 //!
 //! The greedy extraction provides the initial incumbent, so even an
 //! immediate stop returns a sound selection — mirroring the paper's 30 s
@@ -32,6 +54,7 @@
 
 use crate::cost::CostModel;
 use crate::greedy::{class_costs, extract_greedy};
+use crate::lp::LpBound;
 use crate::selection::Selection;
 use accsat_egraph::{EGraph, FxHashMap, FxHashSet, Id, Node};
 use std::time::{Duration, Instant};
@@ -70,6 +93,15 @@ pub struct SearchOptions {
     /// Wall-clock safety valve on top of `node_budget`. Generous by
     /// default so that, at benchmark sizes, only the node budget binds.
     pub deadline: Duration,
+    /// Bound every branch with the LP-relaxation required-set bound
+    /// ([`crate::lp::LpBound`]) instead of the weaker forced-children
+    /// closure. On by default; `false` is the ablation/differential
+    /// configuration.
+    pub lp_bound: bool,
+    /// Decide single-candidate classes immediately (φ-chain forced
+    /// closures) instead of branching on them. On by default; forced
+    /// chains then consume no explored-node budget.
+    pub chain_closure: bool,
 }
 
 impl Default for SearchOptions {
@@ -79,7 +111,34 @@ impl Default for SearchOptions {
             prefer_shared: false,
             node_budget: 2_000_000,
             deadline: Duration::from_secs(30),
+            lp_bound: true,
+            chain_closure: true,
         }
+    }
+}
+
+/// Which candidate-pruning passes [`SearchContext::build_with`] runs.
+/// Production uses [`ContextOptions::default`] (everything on); the
+/// all-off configuration is the *unpruned* reference the differential
+/// property tests compare against.
+#[derive(Debug, Clone, Copy)]
+pub struct ContextOptions {
+    /// Collapse commuted-candidate orbits (same op, same canonical child
+    /// multiset) to their canonically least representative.
+    pub orbit: bool,
+    /// Drop candidates dominated at ≤ op cost by a ⊆ child set.
+    pub dominance: bool,
+    /// On acyclic candidate graphs, additionally drop candidates whose
+    /// *LP required-set closure* is a superset of an equal-or-cheaper
+    /// survivor's (closure-subset dominance) — iterated with the LP
+    /// fixpoint until stable. Automatically inert on cyclic graphs, where
+    /// the replacement argument does not hold.
+    pub closure_dominance: bool,
+}
+
+impl Default for ContextOptions {
+    fn default() -> ContextOptions {
+        ContextOptions { orbit: true, dominance: true, closure_dominance: true }
     }
 }
 
@@ -94,8 +153,14 @@ pub struct ExactResult {
     /// `true` when the search completed (the result is provably optimal);
     /// `false` when a budget expired and the incumbent is returned.
     pub proven_optimal: bool,
-    /// Number of branch-and-bound nodes explored.
+    /// Number of branch-and-bound nodes explored. Forced-chain decisions
+    /// are free: only real branch points count against the budget.
     pub explored: u64,
+    /// The strongest certified lower bound on the optimal DAG cost: the
+    /// cost itself when `proven_optimal`, otherwise the static
+    /// LP-relaxation root bound ([`SearchContext::root_lower_bound`]).
+    /// `cost - lower_bound` is the *bound gap* reported per kernel.
+    pub lower_bound: u64,
 }
 
 /// Exact DAG-cost extraction under a time budget, with the default search
@@ -116,6 +181,34 @@ pub fn extract_exact_with(
     let incumbent_cost = incumbent.dag_cost(eg, cm, roots);
     let cx = SearchContext::build(eg, cm);
     extract_exact_in(&cx, roots, &incumbent, incumbent_cost, opts)
+}
+
+/// The *unpruned* exact search: no symmetry breaking, no dominance
+/// pruning, no LP bound, no chain closures — only the finite-cost filter
+/// (required for soundness) and the plain forced-children bound. This is
+/// the reference oracle the differential property tests compare the
+/// strengthened search against; it explores far more nodes, so give it a
+/// generous `node_budget` and only call it on small e-graphs.
+pub fn extract_unpruned(
+    eg: &EGraph,
+    roots: &[Id],
+    cm: &CostModel,
+    node_budget: u64,
+) -> ExactResult {
+    let incumbent = extract_greedy(eg, roots, cm);
+    let incumbent_cost = incumbent.dag_cost(eg, cm, roots);
+    let cx = SearchContext::build_with(
+        eg,
+        cm,
+        &ContextOptions { orbit: false, dominance: false, closure_dominance: false },
+    );
+    let opts = SearchOptions {
+        node_budget,
+        lp_bound: false,
+        chain_closure: false,
+        ..SearchOptions::default()
+    };
+    extract_exact_in(&cx, roots, &incumbent, incumbent_cost, &opts)
 }
 
 /// Exact DAG-cost extraction over a prebuilt [`SearchContext`] and greedy
@@ -149,6 +242,7 @@ pub fn extract_exact_in(
         })
         .collect();
 
+    let n = cx.cands.len();
     let mut search = Search {
         cx,
         orders,
@@ -158,76 +252,122 @@ pub fn extract_exact_in(
         deadline: Instant::now() + opts.deadline,
         explored: 0,
         stopped: false,
-        counted: FxHashSet::default(),
-        queued: FxHashSet::default(),
+        charged: vec![0u64; n.div_ceil(64)],
+        queued: vec![false; n],
     };
 
-    // seed the required set with the roots and their forced closures
+    // seed the required set with the roots: charge their closures and
+    // auto-decide forced chains before the first branch
     let mut pending: Vec<Id> = Vec::new();
-    let mut bound = 0u64;
+    let mut chosen: FxHashMap<Id, Node> = FxHashMap::default();
+    let mut cost = 0u64;
+    let mut extra = 0u64;
+    let (mut qt, mut dt, mut ct) = (Vec::new(), Vec::new(), Vec::new());
+    let mut feasible = true;
     for &r in roots {
         let r = eg.find(r);
-        if search.queued.insert(r) {
-            pending.push(r);
+        if !search.require(
+            r,
+            &mut pending,
+            &mut chosen,
+            &mut qt,
+            &mut dt,
+            &mut ct,
+            &mut cost,
+            &mut extra,
+        ) {
+            // a root's forced closure is cyclic: no selection can cover
+            // the roots at all — fall back to the incumbent, unproven
+            feasible = false;
+            break;
         }
-        bound += search.charge_required(r, &mut Vec::new());
     }
-    let mut chosen: FxHashMap<Id, Node> = FxHashMap::default();
-    search.dfs(&mut pending, &mut chosen, 0, bound);
+    if feasible {
+        search.dfs(&mut pending, &mut chosen, cost, extra);
+    } else {
+        search.stopped = true;
+    }
 
     let proven = !search.stopped;
     let best_cost = search.best_cost;
     let explored = search.explored;
+    let lower_bound = if proven { best_cost } else { cx.root_lower_bound(roots) };
     // complete the minimal search selection to a total cover: classes
     // outside the roots' closure keep the greedy choice (cost-neutral for
     // the roots, and consumers materialize such classes too)
     let mut selection = search.best;
     selection.fill_from(incumbent);
-    ExactResult { selection, cost: best_cost, proven_optimal: proven, explored }
+    ExactResult { selection, cost: best_cost, proven_optimal: proven, explored, lower_bound }
 }
 
 /// Immutable per-extraction tables shared by every search of a portfolio:
-/// pruned candidate lists, per-class minimum op costs, and the forced
-/// children used by the memoized lower bound. Public so tests and tools
-/// can inspect what the pruning and bounding phases computed.
+/// pruned candidate lists, per-class minimum op costs, the forced children
+/// of the legacy memo bound, and the LP-relaxation required sets. Public
+/// so tests and tools can inspect what the pruning and bounding phases
+/// computed.
 pub struct SearchContext<'a> {
     eg: &'a EGraph,
     /// Cheapest op cost over the *surviving* candidates of each class
     /// (indexed by canonical class index).
     min_op: Vec<u64>,
-    /// Candidate nodes per class after the finite-cost filter and
-    /// dominated-node pruning, in a deterministic order.
+    /// Candidate nodes per class after the finite-cost filter, orbit
+    /// collapse and dominated-node pruning, in a deterministic order.
     cands: Vec<Vec<Cand>>,
     /// Classes that are a child of *every* surviving candidate of a class:
-    /// required whenever the class is required (the memoized bound).
+    /// required whenever the class is required (the legacy memo bound,
+    /// kept as the `lp_bound: false` fallback and for ablation).
     forced: Vec<Vec<Id>>,
+    /// LP-relaxation required sets and per-class fractional bounds.
+    lp: LpBound,
+    /// Is the surviving-candidate graph acyclic? (True for the benchmark
+    /// kernels; enables closure dominance and skips cycle checks.)
+    acyclic: bool,
+    /// Commuted candidates removed by symmetry breaking.
+    orbit_pruned: usize,
+    /// Candidates removed by dominated-node pruning.
+    dominance_pruned: usize,
+    /// Candidates removed by closure-subset dominance.
+    closure_pruned: usize,
 }
 
 /// One surviving candidate: the node plus its precomputed op cost, tree
 /// cost and deduplicated canonical child set.
 #[derive(Debug, Clone)]
-struct Cand {
-    node: Node,
-    op_cost: u64,
-    tree_cost: u64,
+pub(crate) struct Cand {
+    pub(crate) node: Node,
+    pub(crate) op_cost: u64,
+    pub(crate) tree_cost: u64,
     /// Canonical child classes, sorted and deduplicated.
-    child_set: Vec<Id>,
+    pub(crate) child_set: Vec<Id>,
 }
 
 impl<'a> SearchContext<'a> {
-    /// Precompute the candidate lists (finite-cost filter + dominated-node
-    /// pruning), per-class minimum op costs and forced children for `eg`.
+    /// Precompute the candidate lists and bounds for `eg` with the default
+    /// pruning passes (orbit collapse + dominance) enabled.
     pub fn build(eg: &'a EGraph, cm: &'a CostModel) -> SearchContext<'a> {
+        SearchContext::build_with(eg, cm, &ContextOptions::default())
+    }
+
+    /// Precompute the candidate lists (finite-cost filter + the pruning
+    /// passes selected by `opts`), per-class minimum op costs, forced
+    /// children and LP required sets for `eg`.
+    pub fn build_with(
+        eg: &'a EGraph,
+        cm: &'a CostModel,
+        opts: &ContextOptions,
+    ) -> SearchContext<'a> {
         let tree_costs = class_costs(eg, cm);
         let n = tree_costs.len();
         let mut min_op = vec![0u64; n];
         let mut cands: Vec<Vec<Cand>> = vec![Vec::new(); n];
         let mut forced: Vec<Vec<Id>> = vec![Vec::new(); n];
+        let mut orbit_pruned = 0usize;
+        let mut dominance_pruned = 0usize;
 
         for (id, class) in eg.classes() {
             // finite-cost filter: a node whose child has no finite tree
             // cost can never appear in a well-founded selection
-            let mut list: Vec<Cand> = class
+            let list: Vec<Cand> = class
                 .nodes
                 .iter()
                 .filter_map(|node| {
@@ -248,6 +388,7 @@ impl<'a> SearchContext<'a> {
                 })
                 .collect();
             // deterministic base order: cheap ops first, few children, Node
+            let mut list = list;
             list.sort_by(|a, b| {
                 (a.op_cost, a.child_set.len(), &a.node).cmp(&(
                     b.op_cost,
@@ -255,33 +396,170 @@ impl<'a> SearchContext<'a> {
                     &b.node,
                 ))
             });
+            // symmetry breaking: commuted candidates — same operator, same
+            // canonical child *multiset* — have identical DAG cost under
+            // every completion of the selection, so the search only needs
+            // the canonically least member of each orbit. (A special case
+            // of dominance, split out so the orbit count is observable and
+            // the quadratic dominance scan sees fewer candidates.)
+            if opts.orbit {
+                let mut kept: Vec<Cand> = Vec::with_capacity(list.len());
+                let mut orbits: Vec<Vec<Id>> = Vec::new();
+                for c in list {
+                    let mut multiset: Vec<Id> =
+                        c.node.children.iter().map(|&k| eg.find(k)).collect();
+                    multiset.sort_unstable();
+                    let is_dup = kept
+                        .iter()
+                        .zip(&orbits)
+                        .any(|(k, ms)| k.node.op == c.node.op && *ms == multiset);
+                    if is_dup {
+                        orbit_pruned += 1;
+                        continue;
+                    }
+                    kept.push(c);
+                    orbits.push(multiset);
+                }
+                cands[id.index()] = kept;
+            } else {
+                cands[id.index()] = list;
+            }
             // dominated-node pruning: drop a candidate if an earlier
             // survivor has op cost ≤ and a child set that is a subset of
             // its own — the survivor can replace it in any selection
             // without raising the DAG cost or losing feasibility.
-            let mut survivors: Vec<Cand> = Vec::with_capacity(list.len());
-            'cand: for c in list {
-                for s in &survivors {
-                    if s.op_cost <= c.op_cost && subset(&s.child_set, &c.child_set) {
-                        continue 'cand;
+            if opts.dominance {
+                let list = std::mem::take(&mut cands[id.index()]);
+                let mut survivors: Vec<Cand> = Vec::with_capacity(list.len());
+                'cand: for c in list {
+                    for s in &survivors {
+                        if s.op_cost <= c.op_cost && subset(&s.child_set, &c.child_set) {
+                            dominance_pruned += 1;
+                            continue 'cand;
+                        }
                     }
+                    survivors.push(c);
                 }
-                survivors.push(c);
+                cands[id.index()] = survivors;
             }
-            min_op[id.index()] = survivors.iter().map(|c| c.op_cost).min().unwrap_or(0);
-            // forced children: in the intersection of every candidate's
-            // child set, hence selected under any choice for this class
-            if let Some((first, rest)) = survivors.split_first() {
-                let mut inter = first.child_set.clone();
-                for c in rest {
-                    inter.retain(|id| c.child_set.binary_search(id).is_ok());
-                }
-                forced[id.index()] = inter;
-            }
-            cands[id.index()] = survivors;
+            min_op[id.index()] = cands[id.index()].iter().map(|c| c.op_cost).min().unwrap_or(0);
         }
 
-        SearchContext { eg, min_op, cands, forced }
+        // is the surviving-candidate graph acyclic? (The benchmark kernel
+        // e-graphs are; random saturated graphs need not be.) Closure
+        // dominance is gated on this: its replacement argument grafts a
+        // survivor's forced closure onto an arbitrary selection, which on
+        // a cyclic graph could close a cycle.
+        let acyclic = candidate_graph_is_acyclic(eg, &cands, n);
+
+        // closure-subset dominance, iterated with the LP fixpoint: a
+        // candidate `n` dies when an equal-or-cheaper survivor `m` forces
+        // no more than `n` does — closure(m) ⊆ closure(n) ∪ S(class),
+        // where closure(x) = ⋃ S(child) over x's children. Every class
+        // `m`'s choice forces is then already paid in any selection that
+        // chose `n`, so switching to `m` never costs more (and cannot
+        // close a cycle on an acyclic graph). Each pruned candidate can
+        // only grow the forced intersections, so the LP sets are rebuilt
+        // and the pass repeats until stable.
+        let mut closure_pruned = 0usize;
+        let mut lp = LpBound::build(&cands, &min_op);
+        if opts.closure_dominance && acyclic {
+            loop {
+                let words = lp.row_words();
+                let mut changed = false;
+                let mut m_row = vec![0u64; words];
+                let mut n_row = vec![0u64; words];
+                for (c, slot) in cands.iter_mut().enumerate() {
+                    if slot.len() < 2 {
+                        continue;
+                    }
+                    let self_row = lp.row(c).to_vec();
+                    let closure = |cand: &Cand, out: &mut [u64]| {
+                        out.fill(0);
+                        for ch in &cand.child_set {
+                            for (o, &w) in out.iter_mut().zip(lp.row(ch.index())) {
+                                *o |= w;
+                            }
+                        }
+                    };
+                    // `dominates(m, n)`: switching a selection from n to m
+                    // is free — m is no costlier and forces nothing that
+                    // choosing n (with the class's own closure) does not
+                    // already pay for
+                    let mut kept: Vec<Cand> = Vec::with_capacity(slot.len());
+                    'cand: for cand in std::mem::take(slot) {
+                        closure(&cand, &mut n_row);
+                        for m in &kept {
+                            if m.op_cost > cand.op_cost {
+                                continue;
+                            }
+                            closure(m, &mut m_row);
+                            let contained = m_row
+                                .iter()
+                                .zip(n_row.iter().zip(&self_row))
+                                .all(|(&mw, (&nw, &sw))| mw & !(nw | sw) == 0);
+                            if contained {
+                                closure_pruned += 1;
+                                changed = true;
+                                continue 'cand;
+                            }
+                        }
+                        // the new candidate may dominate earlier survivors
+                        // (closure size does not follow the sort order:
+                        // an fma with three children can force less than
+                        // an add whose form needs an extra intermediate)
+                        kept.retain(|k| {
+                            if cand.op_cost > k.op_cost {
+                                return true;
+                            }
+                            closure(k, &mut m_row);
+                            let contained = n_row
+                                .iter()
+                                .zip(m_row.iter().zip(&self_row))
+                                .all(|(&nw, (&kw, &sw))| nw & !(kw | sw) == 0);
+                            if contained {
+                                closure_pruned += 1;
+                                changed = true;
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        kept.push(cand);
+                    }
+                    *slot = kept;
+                }
+                if !changed {
+                    break;
+                }
+                lp = LpBound::build(&cands, &min_op);
+            }
+        }
+
+        // forced children: in the intersection of every candidate's child
+        // set, hence selected under any choice for this class (computed
+        // after all pruning — fewer candidates force more)
+        for (c, survivors) in cands.iter().enumerate() {
+            if let Some((first, rest)) = survivors.split_first() {
+                let mut inter = first.child_set.clone();
+                for cand in rest {
+                    inter.retain(|id| cand.child_set.binary_search(id).is_ok());
+                }
+                forced[c] = inter;
+            }
+        }
+
+        SearchContext {
+            eg,
+            min_op,
+            cands,
+            forced,
+            lp,
+            acyclic,
+            orbit_pruned,
+            dominance_pruned,
+            closure_pruned,
+        }
     }
 
     /// The surviving candidates of a class, in the deterministic base
@@ -290,10 +568,66 @@ impl<'a> SearchContext<'a> {
         self.cands[self.eg.find(id).index()].iter().map(|c| c.node.clone()).collect()
     }
 
+    /// How many commuted candidates symmetry breaking removed.
+    pub fn orbit_pruned(&self) -> usize {
+        self.orbit_pruned
+    }
+
+    /// How many candidates dominated-node pruning removed.
+    pub fn dominance_pruned(&self) -> usize {
+        self.dominance_pruned
+    }
+
+    /// How many candidates closure-subset dominance removed (0 on cyclic
+    /// graphs, where the pass is inert).
+    pub fn closure_pruned(&self) -> usize {
+        self.closure_pruned
+    }
+
+    /// Is the surviving-candidate graph acyclic?
+    pub fn is_acyclic(&self) -> bool {
+        self.acyclic
+    }
+
+    /// The LP-relaxation tables (test/diagnostic hook).
+    pub fn lp(&self) -> &LpBound {
+        &self.lp
+    }
+
+    /// The fractional (LP-relaxation) lower bound of one class: admissible
+    /// for the DAG cost of any selection covering it.
+    pub fn fractional_bound(&self, id: Id) -> u64 {
+        self.lp.class_bound(self.eg.find(id).index())
+    }
+
     /// Admissible lower bound on the cost of any selection covering
-    /// `roots`: the sum of minimum op costs over the forced closure (test
-    /// hook for admissibility checks).
+    /// `roots`: the min-op mass of the union of the roots' LP required
+    /// sets (shared classes counted once, like the LP objective).
     pub fn root_lower_bound(&self, roots: &[Id]) -> u64 {
+        let words = self.lp.row_words();
+        let mut acc = vec![0u64; words];
+        for &r in roots {
+            let row = self.lp.row(self.eg.find(r).index());
+            for (a, &w) in acc.iter_mut().zip(row) {
+                *a |= w;
+            }
+        }
+        let mut bound = 0u64;
+        for (wi, &w) in acc.iter().enumerate() {
+            let mut m = w;
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                bound += self.min_op[wi * 64 + b];
+                m &= m - 1;
+            }
+        }
+        bound
+    }
+
+    /// The legacy forced-children closure bound over `roots` — the bottom
+    /// of the bound lattice (see DESIGN.md), kept for ablation and for the
+    /// lattice-ordering property tests.
+    pub fn forced_lower_bound(&self, roots: &[Id]) -> u64 {
         let mut seen = FxHashSet::default();
         let mut bound = 0u64;
         let mut stack: Vec<Id> = roots.iter().map(|&r| self.eg.find(r)).collect();
@@ -306,6 +640,47 @@ impl<'a> SearchContext<'a> {
         }
         bound
     }
+}
+
+/// Iterative three-color DFS over the class graph induced by the
+/// surviving candidates: an edge per (class → candidate child class).
+fn candidate_graph_is_acyclic(eg: &EGraph, cands: &[Vec<Cand>], n: usize) -> bool {
+    let kids = |c: usize| -> Vec<usize> {
+        let mut v: Vec<usize> = cands[c]
+            .iter()
+            .flat_map(|cand| cand.child_set.iter().map(|&ch| eg.find(ch).index()))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut color = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
+    for s in 0..n {
+        if color[s] != 0 {
+            continue;
+        }
+        color[s] = 1;
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = vec![(s, kids(s), 0)];
+        while let Some((c, ch, i)) = stack.last_mut() {
+            if *i >= ch.len() {
+                color[*c] = 2;
+                stack.pop();
+                continue;
+            }
+            let next = ch[*i];
+            *i += 1;
+            match color[next] {
+                0 => {
+                    color[next] = 1;
+                    let k = kids(next);
+                    stack.push((next, k, 0));
+                }
+                1 => return false,
+                _ => {}
+            }
+        }
+    }
+    true
 }
 
 /// Is sorted `a` a subset of sorted `b`?
@@ -339,30 +714,100 @@ struct Search<'a, 'b> {
     deadline: Instant,
     explored: u64,
     stopped: bool,
-    /// Classes whose minimum op cost is already charged into the bound
-    /// (required-closure membership).
-    counted: FxHashSet<Id>,
-    /// Classes that have ever been put on `pending` on the current branch
-    /// (decided classes stay in this set while their subtree is explored).
-    queued: FxHashSet<Id>,
+    /// Bitset of classes whose minimum op cost is already in the bound
+    /// (required-closure membership), by canonical class index.
+    charged: Vec<u64>,
+    /// Classes on `pending` or auto-decided on the current branch
+    /// (branched classes stay marked while their subtree is explored).
+    queued: Vec<bool>,
 }
 
 impl<'a, 'b> Search<'a, 'b> {
-    /// Charge `id` and its forced closure into the bound; newly counted
-    /// classes are recorded in `trail` for backtracking. Returns the bound
-    /// increase.
-    fn charge_required(&mut self, id: Id, trail: &mut Vec<Id>) -> u64 {
+    /// Charge `id`'s closure into the bound: the LP required set when
+    /// `lp_bound` is on, else the forced-children closure. Newly charged
+    /// classes are recorded in `trail` (as canonical indices) for
+    /// backtracking. Returns the bound increase. Idempotent per class.
+    fn charge(&mut self, id: Id, trail: &mut Vec<u32>) -> u64 {
         let mut added = 0u64;
-        let mut stack = vec![id];
-        while let Some(d) = stack.pop() {
-            if !self.counted.insert(d) {
-                continue;
+        if self.opts.lp_bound {
+            let row = self.cx.lp.row(id.index());
+            for (wi, &bits) in row.iter().enumerate() {
+                let new = bits & !self.charged[wi];
+                if new == 0 {
+                    continue;
+                }
+                self.charged[wi] |= new;
+                let mut m = new;
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    let idx = wi * 64 + b;
+                    added += self.cx.min_op[idx];
+                    trail.push(idx as u32);
+                    m &= m - 1;
+                }
             }
-            trail.push(d);
-            added += self.cx.min_op[d.index()];
-            stack.extend(self.cx.forced[d.index()].iter().copied());
+        } else {
+            let mut stack = vec![id];
+            while let Some(d) = stack.pop() {
+                let di = d.index();
+                let (wi, bit) = (di / 64, 1u64 << (di % 64));
+                if self.charged[wi] & bit != 0 {
+                    continue;
+                }
+                self.charged[wi] |= bit;
+                trail.push(di as u32);
+                added += self.cx.min_op[di];
+                stack.extend(self.cx.forced[di].iter().copied());
+            }
         }
         added
+    }
+
+    /// Make `c` required: charge its closure and either queue it for
+    /// branching or — when it has a single surviving candidate and
+    /// `chain_closure` is on — decide it immediately and require its
+    /// children transitively (the φ-chain forced closure). Returns `false`
+    /// when a forced decision closes a cycle through `chosen`, which makes
+    /// the whole current branch infeasible (the forced class has no
+    /// alternative candidate).
+    #[allow(clippy::too_many_arguments)] // the branch's full trail state
+    fn require(
+        &mut self,
+        c: Id,
+        pending: &mut Vec<Id>,
+        chosen: &mut FxHashMap<Id, Node>,
+        q_trail: &mut Vec<Id>,
+        d_trail: &mut Vec<Id>,
+        c_trail: &mut Vec<u32>,
+        cost: &mut u64,
+        extra: &mut u64,
+    ) -> bool {
+        let cx = self.cx;
+        let mut stack = vec![c];
+        while let Some(c) = stack.pop() {
+            *extra += self.charge(c, c_trail);
+            if self.queued[c.index()] {
+                continue;
+            }
+            let cands = &cx.cands[c.index()];
+            if self.opts.chain_closure && cands.len() == 1 {
+                let cand = &cands[0];
+                if !cx.acyclic && would_cycle(cx.eg, chosen, c, &cand.node) {
+                    return false;
+                }
+                self.queued[c.index()] = true;
+                d_trail.push(c);
+                chosen.insert(c, cand.node.clone());
+                *cost += cand.op_cost;
+                *extra -= cx.min_op[c.index()];
+                stack.extend(cand.child_set.iter().copied());
+            } else {
+                self.queued[c.index()] = true;
+                q_trail.push(c);
+                pending.push(c);
+            }
+        }
+        true
     }
 
     /// Pick the index in `pending` of the next class to branch on.
@@ -385,8 +830,8 @@ impl<'a, 'b> Search<'a, 'b> {
     }
 
     /// `pending`: required-but-undecided classes. `cost`: op costs of
-    /// decided classes. `bound_extra`: Σ min_op over counted-but-undecided
-    /// classes (pending plus their forced closures).
+    /// decided classes (branched and chain-closed). `bound_extra`:
+    /// Σ min_op over charged-but-undecided classes.
     fn dfs(
         &mut self,
         pending: &mut Vec<Id>,
@@ -423,43 +868,59 @@ impl<'a, 'b> Search<'a, 'b> {
         // default, or fewest distinct children first to maximize sharing)
         for k in 0..self.orders[id.index()].len() {
             let ci = self.orders[id.index()][k] as usize;
-            let (node, node_cost, child_set) = {
-                let cand = &self.cx.cands[id.index()][ci];
-                (cand.node.clone(), cand.op_cost, cand.child_set.clone())
-            };
-            // acyclicity: a selected DAG must be well-founded
-            if would_cycle(self.cx.eg, chosen, id, &node) {
+            let cx = self.cx;
+            let cand = &cx.cands[id.index()][ci];
+            // acyclicity: a selected DAG must be well-founded (free when
+            // the whole candidate graph is acyclic)
+            if !cx.acyclic && would_cycle(cx.eg, chosen, id, &cand.node) {
                 continue;
             }
-            // queue children that are not yet decided or pending, and
-            // charge newly required classes (with their forced closures)
-            // into the bound
-            let mut queued_trail: Vec<Id> = Vec::new();
-            let mut counted_trail: Vec<Id> = Vec::new();
+            // require the children (queueing or chain-closing them) and
+            // charge newly required closures into the bound
+            let mut q_trail: Vec<Id> = Vec::new();
+            let mut d_trail: Vec<Id> = Vec::new();
+            let mut c_trail: Vec<u32> = Vec::new();
+            let mut branch_cost = cost + cand.op_cost;
             let mut extra = bound_extra;
-            for &c in &child_set {
-                if self.queued.insert(c) {
-                    queued_trail.push(c);
+            chosen.insert(id, cand.node.clone());
+            let mut feasible = true;
+            for ki in 0..cand.child_set.len() {
+                let child = cand.child_set[ki];
+                if !self.require(
+                    child,
+                    pending,
+                    chosen,
+                    &mut q_trail,
+                    &mut d_trail,
+                    &mut c_trail,
+                    &mut branch_cost,
+                    &mut extra,
+                ) {
+                    feasible = false;
+                    break;
                 }
-                extra += self.charge_required(c, &mut counted_trail);
             }
-            chosen.insert(id, node);
-            pending.extend(queued_trail.iter().copied());
-            self.dfs(pending, chosen, cost + node_cost, extra);
+            if feasible {
+                self.dfs(pending, chosen, branch_cost, extra);
+            }
             // a recursive call preserves pending as a *set* but may permute
             // it (classes are picked by swap_remove and re-pushed at frame
             // end), so the children must be removed by value — truncating
             // to the old length would drop arbitrary survivors instead
-            for q in queued_trail {
+            for q in q_trail {
                 let pos =
                     pending.iter().rposition(|&x| x == q).expect("queued child still pending");
                 pending.swap_remove(pos);
-                self.queued.remove(&q);
+                self.queued[q.index()] = false;
+            }
+            for d in d_trail {
+                chosen.remove(&d);
+                self.queued[d.index()] = false;
+            }
+            for b in c_trail {
+                self.charged[b as usize / 64] &= !(1u64 << (b as usize % 64));
             }
             chosen.remove(&id);
-            for c in counted_trail {
-                self.counted.remove(&c);
-            }
             if self.stopped {
                 break;
             }
@@ -472,6 +933,14 @@ impl<'a, 'b> Search<'a, 'b> {
 /// [`Selection`]).
 fn would_cycle(eg: &EGraph, chosen: &FxHashMap<Id, Node>, id: Id, node: &Node) -> bool {
     let target = eg.find(id);
+    // fast path: a cycle must route through an already-chosen child or hit
+    // the target directly — fresh children are walk frontiers
+    if node.children.iter().all(|&c| {
+        let c = eg.find(c);
+        c != target && !chosen.contains_key(&c)
+    }) {
+        return false;
+    }
     let mut stack: Vec<Id> = node.children.iter().map(|&c| eg.find(c)).collect();
     let mut seen = FxHashSet::default();
     while let Some(c) = stack.pop() {
@@ -506,6 +975,7 @@ mod tests {
         assert!(res.proven_optimal);
         // classes: a 1, b 1, h 100, r1 10, r2 10 = 122
         assert_eq!(res.cost, 122);
+        assert_eq!(res.lower_bound, res.cost, "proven results certify their own cost");
     }
 
     #[test]
@@ -551,8 +1021,9 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_returns_incumbent() {
-        // a one-node budget stops before any complete selection: the
-        // greedy incumbent must come back, unproven
+        // a zero-node budget stops before any complete selection: the
+        // greedy incumbent must come back, unproven, with the static root
+        // bound as the certified lower bound
         let mut eg = EGraph::new();
         let a = eg.add(Node::sym("a"));
         let b = eg.add(Node::sym("b"));
@@ -565,6 +1036,7 @@ mod tests {
         assert!(res.selection.get(&eg, s).is_some());
         let g = extract_greedy(&eg, &[s], &cm);
         assert_eq!(res.cost, g.dag_cost(&eg, &cm, &[s]));
+        assert!(res.lower_bound <= res.cost, "static bound stays admissible");
     }
 
     #[test]
@@ -625,6 +1097,7 @@ mod tests {
         let cands = cx.candidates(ax);
         assert_eq!(cands.len(), 1, "dominated mul must be pruned: {cands:?}");
         assert_eq!(cands[0].op, Op::Add);
+        assert!(cx.dominance_pruned() >= 1);
     }
 
     #[test]
@@ -660,8 +1133,8 @@ mod tests {
 
     #[test]
     fn root_lower_bound_is_admissible_and_reaches_tree_bound() {
-        // on a pure tree the forced closure covers the whole term, so the
-        // memoized bound equals the exact cost
+        // on a pure tree the forced closure covers the whole term, so
+        // both the legacy and the LP bound equal the exact cost
         let mut eg = EGraph::new();
         let a = eg.add(Node::sym("a"));
         let b = eg.add(Node::sym("b"));
@@ -670,6 +1143,157 @@ mod tests {
         let cm = CostModel::paper();
         let cx = SearchContext::build(&eg, &cm);
         let res = extract_exact(&eg, &[r], &cm, Duration::from_secs(1));
-        assert_eq!(cx.root_lower_bound(&[r]), res.cost, "tree bound is tight");
+        assert_eq!(cx.root_lower_bound(&[r]), res.cost, "LP bound is tight on trees");
+        assert_eq!(cx.forced_lower_bound(&[r]), res.cost, "forced bound is tight on trees");
+    }
+
+    #[test]
+    fn orbit_collapse_prunes_commuted_candidates_without_dominance() {
+        // add(a, b) and add(b, a): same op, same child multiset — one
+        // orbit. With dominance disabled, only symmetry breaking can
+        // collapse it.
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let ab = eg.add(Node::new(Op::Add, vec![a, b]));
+        let ba = eg.add(Node::new(Op::Add, vec![b, a]));
+        eg.union(ab, ba);
+        eg.rebuild();
+        let cm = CostModel::paper();
+        let cx = SearchContext::build_with(
+            &eg,
+            &cm,
+            &ContextOptions { orbit: true, dominance: false, closure_dominance: false },
+        );
+        assert_eq!(cx.candidates(ab).len(), 1, "one representative per orbit");
+        assert_eq!(cx.orbit_pruned(), 1);
+        // the unpruned context keeps both commuted nodes
+        let raw = SearchContext::build_with(
+            &eg,
+            &cm,
+            &ContextOptions { orbit: false, dominance: false, closure_dominance: false },
+        );
+        assert_eq!(raw.candidates(ab).len(), 2);
+        assert_eq!(raw.orbit_pruned(), 0);
+    }
+
+    #[test]
+    fn orbit_keeps_distinct_child_multisets() {
+        // add(a, a) and add(a, b) share the op but not the multiset:
+        // different orbits, both survive symmetry breaking.
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let aa = eg.add(Node::new(Op::Add, vec![a, a]));
+        let ab = eg.add(Node::new(Op::Add, vec![a, b]));
+        eg.union(aa, ab);
+        eg.rebuild();
+        let cm = CostModel::paper();
+        let cx = SearchContext::build_with(
+            &eg,
+            &cm,
+            &ContextOptions { orbit: true, dominance: false, closure_dominance: false },
+        );
+        assert_eq!(cx.candidates(aa).len(), 2, "distinct multisets are not an orbit");
+    }
+
+    #[test]
+    fn chain_closure_decides_singleton_chains_for_free() {
+        // a pure chain of single-candidate classes is fully decided at
+        // seed time: the search explores exactly one node
+        let mut eg = EGraph::new();
+        let mut cur = eg.add(Node::sym("x"));
+        for _ in 0..40 {
+            cur = eg.add(Node::new(Op::Neg, vec![cur]));
+        }
+        let cm = CostModel::paper();
+        let with = extract_exact_with(&eg, &[cur], &cm, &SearchOptions::default());
+        assert!(with.proven_optimal);
+        assert_eq!(with.explored, 1, "forced chains must consume no branch budget");
+
+        // now hang the chain off a sharing trade-off where the greedy
+        // incumbent is suboptimal: the improving path must decide every
+        // chain class, so the unclosed search pays per link while the
+        // chain closure keeps the tree collapsed
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let c = eg.add(Node::sym("c"));
+        let u = eg.add(Node::new(Op::Div, vec![a, b]));
+        let uu = eg.add(Node::new(Op::Add, vec![u, u]));
+        let v1 = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let v2 = eg.add(Node::new(Op::Mul, vec![b, c]));
+        let vv = eg.add(Node::new(Op::Add, vec![v1, v2]));
+        eg.union(uu, vv);
+        eg.rebuild();
+        let mut chain = u;
+        for _ in 0..40 {
+            chain = eg.add(Node::new(Op::Neg, vec![chain]));
+        }
+        let roots = [eg.find(uu), eg.find(chain)];
+        let with = extract_exact_with(&eg, &roots, &cm, &SearchOptions::default());
+        let without = extract_exact_with(
+            &eg,
+            &roots,
+            &cm,
+            &SearchOptions { chain_closure: false, ..SearchOptions::default() },
+        );
+        assert!(with.proven_optimal && without.proven_optimal);
+        assert_eq!(with.cost, without.cost);
+        assert!(with.cost < extract_greedy(&eg, &roots, &cm).dag_cost(&eg, &cm, &roots));
+        assert!(without.explored > 40, "the unclosed search pays per chain link");
+        assert!(with.explored < 10, "chain closure collapses the chain: {}", with.explored);
+    }
+
+    #[test]
+    fn lp_bound_dominates_forced_bound_on_converging_candidates() {
+        // root class R = { neg(p), neg(q) } where p = a/b + a and
+        // q = a/b * b both require the heavy division: the forced bound
+        // sees no common *direct* child and stops at min-op(R), while the
+        // LP required-set fixpoint charges the division both candidates
+        // converge on.
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let h = eg.add(Node::new(Op::Div, vec![a, b]));
+        let p = eg.add(Node::new(Op::Add, vec![h, a]));
+        let q = eg.add(Node::new(Op::Mul, vec![h, b]));
+        let np = eg.add(Node::new(Op::Neg, vec![p]));
+        let nq = eg.add(Node::new(Op::Neg, vec![q]));
+        eg.union(np, nq);
+        eg.rebuild();
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        let root = eg.find(np);
+        let forced = cx.forced_lower_bound(&[root]);
+        let lp = cx.root_lower_bound(&[root]);
+        assert!(lp > forced, "LP ({lp}) must beat forced ({forced}) here");
+        // the forced bound sees no shared direct child: just neg 10
+        assert_eq!(forced, 10);
+        // the LP bound charges the deep convergence — the division and
+        // its operands — but not p/q themselves (they are alternatives):
+        // neg 10 + div 100 + a 1 + b 1 = 112
+        assert_eq!(lp, 112);
+        let res = extract_exact(&eg, &[root], &cm, Duration::from_secs(1));
+        assert!(res.proven_optimal);
+        assert!(lp <= res.cost, "bound stays admissible");
+    }
+
+    #[test]
+    fn unpruned_search_agrees_with_strengthened_search() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let h = eg.add(Node::new(Op::Div, vec![a, b]));
+        let r1 = eg.add(Node::new(Op::Add, vec![h, a]));
+        let r2 = eg.add(Node::new(Op::Mul, vec![h, b]));
+        Runner::new(all_rules()).run(&mut eg);
+        let roots = [eg.find(r1), eg.find(r2)];
+        let cm = CostModel::paper();
+        let fast = extract_exact(&eg, &roots, &cm, Duration::from_secs(2));
+        let slow = extract_unpruned(&eg, &roots, &cm, 50_000_000);
+        assert!(fast.proven_optimal && slow.proven_optimal);
+        assert_eq!(fast.cost, slow.cost, "pruning must not change the optimum");
+        assert!(fast.explored <= slow.explored, "pruning must not grow the tree");
     }
 }

@@ -12,16 +12,23 @@
 //! * [`extract_greedy`] — the classic bottom-up fixpoint that minimizes
 //!   *tree* cost per class (egg's default extractor). Fast, always sound,
 //!   used as the incumbent and the budget-exhausted fallback.
+//! * [`refine`] — DAG-aware incumbent refinement: hill climbing over
+//!   candidate switches and a sequential marginal greedy that scores
+//!   committed classes as free; deterministic, and the source of the
+//!   best known selections on the hardest suite kernels.
 //! * [`extract_exact`] — branch-and-bound over per-class node choices that
 //!   minimizes the true *DAG* cost (shared classes counted once),
-//!   strengthened by dominated-node pruning, memoized per-class lower
-//!   bounds and best-first class ordering (see [`bnb`]), under a
+//!   strengthened by symmetry breaking, dominated-node and closure-subset
+//!   pruning, the LP-relaxation required-set bound of [`lp`], φ-chain
+//!   forced closures and best-first class ordering (see [`bnb`]), under a
 //!   deterministic explored-node budget with a wall-clock safety valve
-//!   mirroring the paper's 30-second extraction limit.
-//! * [`extract_portfolio`] — diversified [`bnb`] strategies racing on
-//!   scoped worker threads; first provably-optimal or best-at-budget
-//!   selection wins, deterministically (see [`portfolio`]). This is what
-//!   the pipeline and the `accsat batch` driver call.
+//!   mirroring the paper's 30-second extraction limit. Budget-stopped
+//!   searches also report the strongest certified lower bound.
+//! * [`extract_portfolio`] — greedy → refinement → diversified [`bnb`]
+//!   strategies racing on scoped worker threads; first provably-optimal
+//!   or best-at-budget selection wins, deterministically (see
+//!   [`portfolio`]). This is what the pipeline and the `accsat batch`
+//!   driver call.
 //!
 //! The cost model is the paper's §V-B, verbatim: constants are free, each
 //! input variable or φ costs 1, every computational operation costs 10
@@ -33,19 +40,23 @@
 pub mod bnb;
 pub mod cost;
 pub mod greedy;
+pub mod lp;
 pub mod portfolio;
+pub mod refine;
 pub mod selection;
 
 pub use bnb::{
-    extract_exact, extract_exact_in, extract_exact_with, ClassOrder, ExactResult, SearchContext,
-    SearchOptions,
+    extract_exact, extract_exact_in, extract_exact_with, extract_unpruned, ClassOrder,
+    ContextOptions, ExactResult, SearchContext, SearchOptions,
 };
 pub use cost::CostModel;
 pub use greedy::extract_greedy;
+pub use lp::LpBound;
 pub use portfolio::{
     extract_portfolio, extract_portfolio_k, HarvestedSelection, PortfolioConfig, PortfolioHarvest,
     PortfolioResult, WorkerOutcome, STRATEGY_COUNT,
 };
+pub use refine::{climb, marginal_greedy};
 pub use selection::Selection;
 
 // Compile-time guarantee that extraction state crosses threads: the

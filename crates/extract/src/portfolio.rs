@@ -74,8 +74,9 @@ impl Default for PortfolioConfig {
 /// What one portfolio member reported.
 #[derive(Debug, Clone)]
 pub struct WorkerOutcome {
-    /// Strategy name (from the fixed portfolio table, or `"greedy"` for
-    /// the shared incumbent when the bound check short-circuits).
+    /// Strategy name: from the fixed portfolio table, or `"greedy"` /
+    /// `"refine"` for the shared incumbent member (always listed first;
+    /// also the sole member when the bound check short-circuits).
     pub strategy: &'static str,
     /// DAG cost of the worker's best selection.
     pub cost: u64,
@@ -99,6 +100,11 @@ pub struct PortfolioResult {
     pub winner: &'static str,
     /// Per-member outcomes, in strategy order.
     pub workers: Vec<WorkerOutcome>,
+    /// The strongest certified lower bound on the optimal DAG cost: the
+    /// winning cost when `proven_optimal`, otherwise the static
+    /// LP-relaxation root bound shared by every member.
+    /// `cost - lower_bound` is the kernel's reported *bound gap*.
+    pub lower_bound: u64,
 }
 
 /// One member of a [`PortfolioHarvest`]: a complete selection with its
@@ -106,8 +112,9 @@ pub struct PortfolioResult {
 /// being discarded when it loses the static-cost race.
 #[derive(Debug, Clone)]
 pub struct HarvestedSelection {
-    /// Strategy that produced this selection (`"greedy"` for the
-    /// incumbent, otherwise a branch-and-bound strategy name).
+    /// Strategy that produced this selection: `"greedy"` for the
+    /// incumbent, `"refine"` for the DAG-aware refinement stage, or a
+    /// branch-and-bound strategy name.
     pub strategy: &'static str,
     /// The selection itself.
     pub selection: Selection,
@@ -121,36 +128,112 @@ pub struct HarvestedSelection {
 
 /// Everything the portfolio found, not just the winner — the keep-K API.
 ///
-/// `members[0]` is always the greedy incumbent; the remaining members are
-/// the racing branch-and-bound strategies in fixed strategy order. The
-/// list is deterministic for a fixed e-graph, cost model and config.
+/// `members[0]` is always the greedy incumbent; a `"refine"` member
+/// follows whenever the refinement stage strictly improved on greedy;
+/// the racing branch-and-bound strategies come after, in fixed strategy
+/// order. Look members up by `strategy` name, not by position. The list
+/// is deterministic for a fixed e-graph, cost model and config.
 #[derive(Debug, Clone)]
 pub struct PortfolioHarvest {
-    /// All member selections, greedy first then strategy order.
+    /// All member selections: greedy, then the refined incumbent when it
+    /// improves, then strategy order.
     pub members: Vec<HarvestedSelection>,
     /// Index of the winning member: lowest cost, ties broken toward the
-    /// branch-and-bound members in strategy order (matching
-    /// [`extract_portfolio`]), then the greedy incumbent.
+    /// earlier member (matching [`extract_portfolio`] — a search only
+    /// beats the incumbent it was seeded with by strictly improving).
     pub winner: usize,
+    /// The strongest certified lower bound on the optimal DAG cost under
+    /// the portfolio's cost model (see [`PortfolioResult::lower_bound`]).
+    pub lower_bound: u64,
 }
 
-/// Shared portfolio core: greedy incumbent plus (unless the incumbent is
-/// proven optimal outright) the racing branch-and-bound strategies.
+/// What the shared portfolio core produced.
+struct PortfolioCore {
+    /// The greedy incumbent (always computed, always a total cover).
+    greedy: Selection,
+    /// DAG cost of the greedy incumbent.
+    greedy_cost: u64,
+    /// The refined incumbent the searches were seeded with ("greedy" when
+    /// refinement found nothing strictly better).
+    incumbent: Selection,
+    /// DAG cost of the refined incumbent.
+    incumbent_cost: u64,
+    /// Name of the incumbent member: `"greedy"` or `"refine"`.
+    incumbent_name: &'static str,
+    /// The incumbent met the LP root bound: provably optimal, no search.
+    short_circuit: bool,
+    /// The LP-relaxation root lower bound.
+    root_bound: u64,
+    /// Per-strategy search results (empty on short circuit).
+    results: Vec<(&'static str, crate::bnb::ExactResult)>,
+}
+
+/// Shared portfolio core: greedy incumbent, DAG-aware refinement
+/// ([`crate::refine`]), then — unless some incumbent already meets the LP
+/// root bound — the racing branch-and-bound strategies, every one seeded
+/// with the best refined incumbent.
 fn run_portfolio(
     eg: &EGraph,
     roots: &[Id],
     cm: &CostModel,
     config: &PortfolioConfig,
-) -> (Selection, u64, bool, Vec<(&'static str, crate::bnb::ExactResult)>) {
+) -> PortfolioCore {
     let greedy = extract_greedy(eg, roots, cm);
     let greedy_cost = greedy.dag_cost(eg, cm, roots);
     // built once, shared by every worker (the context is immutable and
     // Sync; each search only derives its own candidate orders from it)
     let cx = SearchContext::build(eg, cm);
-    if greedy_cost <= cx.root_lower_bound(roots) {
+    let root_bound = cx.root_lower_bound(roots);
+    if greedy_cost <= root_bound {
         // the incumbent meets the admissible bound: provably optimal
-        // without any branching
-        return (greedy, greedy_cost, true, Vec::new());
+        // without any branching (and with no refinement wall cost)
+        return PortfolioCore {
+            incumbent: greedy.clone(),
+            incumbent_cost: greedy_cost,
+            incumbent_name: "greedy",
+            greedy,
+            greedy_cost,
+            short_circuit: true,
+            root_bound,
+            results: Vec::new(),
+        };
+    }
+
+    // DAG-aware refinement: hill-climb the greedy incumbent, and run the
+    // sequential marginal greedy (completed from the greedy cover) with a
+    // climb on top; the cheapest deterministic result seeds every search.
+    // Ties prefer the plain greedy so unimprovable kernels keep their
+    // previous selections byte-for-byte.
+    let climbed = crate::refine::climb(eg, &cx, cm, roots, greedy.clone());
+    let climbed_cost = climbed.dag_cost(eg, cm, roots);
+    let marginal = crate::refine::marginal_greedy(eg, &cx, cm, roots).map(|mut m| {
+        m.fill_from(&greedy);
+        let m = crate::refine::climb(eg, &cx, cm, roots, m);
+        let c = m.dag_cost(eg, cm, roots);
+        (m, c)
+    });
+    let marginal_cost = marginal.as_ref().map_or(u64::MAX, |&(_, c)| c);
+    let (incumbent, incumbent_cost, incumbent_name) =
+        if climbed_cost < greedy_cost && climbed_cost <= marginal_cost {
+            (climbed, climbed_cost, "refine")
+        } else if marginal_cost < greedy_cost {
+            let (m, c) = marginal.expect("cost came from Some");
+            (m, c, "refine")
+        } else {
+            (greedy.clone(), greedy_cost, "greedy")
+        };
+    if incumbent_cost <= root_bound {
+        // the refined incumbent meets the bound: proven without search
+        return PortfolioCore {
+            greedy,
+            greedy_cost,
+            incumbent,
+            incumbent_cost,
+            incumbent_name,
+            short_circuit: true,
+            root_bound,
+            results: Vec::new(),
+        };
     }
 
     let width = config.threads.clamp(1, STRATEGIES.len());
@@ -164,82 +247,107 @@ fn run_portfolio(
                     prefer_shared,
                     node_budget: config.node_budget,
                     deadline: config.deadline,
+                    ..SearchOptions::default()
                 },
             )
         })
         .collect();
 
     let results: Vec<(&'static str, crate::bnb::ExactResult)> = if width == 1 {
-        vec![(opts[0].0, extract_exact_in(&cx, roots, &greedy, greedy_cost, &opts[0].1))]
+        vec![(opts[0].0, extract_exact_in(&cx, roots, &incumbent, incumbent_cost, &opts[0].1))]
     } else {
         std::thread::scope(|scope| {
             let cx = &cx;
-            let greedy = &greedy;
+            let incumbent = &incumbent;
             let handles: Vec<_> = opts
                 .iter()
                 .map(|(name, o)| {
                     let name = *name;
                     let o = *o;
-                    scope
-                        .spawn(move || (name, extract_exact_in(cx, roots, greedy, greedy_cost, &o)))
+                    scope.spawn(move || {
+                        (name, extract_exact_in(cx, roots, incumbent, incumbent_cost, &o))
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("portfolio worker panicked")).collect()
         })
     };
-    (greedy, greedy_cost, false, results)
+    PortfolioCore {
+        greedy,
+        greedy_cost,
+        incumbent,
+        incumbent_cost,
+        incumbent_name,
+        short_circuit: false,
+        root_bound,
+        results,
+    }
 }
 
 /// Run the extraction portfolio over `roots`.
 ///
 /// The greedy incumbent is computed first; if its cost already meets the
-/// admissible root lower bound it is returned immediately as provably
-/// optimal (no search threads are spawned). Otherwise `config.threads`
-/// branch-and-bound workers race and the best deterministic result wins.
+/// admissible LP root bound it is returned immediately as provably
+/// optimal. Otherwise the DAG-aware refinement heuristics
+/// ([`crate::refine`]) improve the incumbent (re-checking the bound),
+/// then `config.threads` branch-and-bound workers race from the refined
+/// incumbent and the best deterministic result wins.
 pub fn extract_portfolio(
     eg: &EGraph,
     roots: &[Id],
     cm: &CostModel,
     config: &PortfolioConfig,
 ) -> PortfolioResult {
-    let (greedy, greedy_cost, short_circuit, results) = run_portfolio(eg, roots, cm, config);
-    if short_circuit {
+    let core = run_portfolio(eg, roots, cm, config);
+    if core.short_circuit {
         return PortfolioResult {
-            selection: greedy,
-            cost: greedy_cost,
+            selection: core.incumbent,
+            cost: core.incumbent_cost,
             proven_optimal: true,
-            winner: "greedy",
+            winner: core.incumbent_name,
             workers: vec![WorkerOutcome {
-                strategy: "greedy",
-                cost: greedy_cost,
+                strategy: core.incumbent_name,
+                cost: core.incumbent_cost,
                 proven_optimal: true,
                 explored: 0,
             }],
+            lower_bound: core.incumbent_cost,
         };
     }
 
-    let workers: Vec<WorkerOutcome> = results
-        .iter()
-        .map(|(name, r)| WorkerOutcome {
-            strategy: name,
-            cost: r.cost,
-            proven_optimal: r.proven_optimal,
-            explored: r.explored,
-        })
-        .collect();
-    // winner: lowest cost, ties broken by strategy order — completion
-    // order never matters
-    let win = (0..results.len())
-        .min_by_key(|&i| (results[i].1.cost, i))
+    let mut workers: Vec<WorkerOutcome> = vec![WorkerOutcome {
+        strategy: core.incumbent_name,
+        cost: core.incumbent_cost,
+        proven_optimal: false,
+        explored: 0,
+    }];
+    workers.extend(core.results.iter().map(|(name, r)| WorkerOutcome {
+        strategy: name,
+        cost: r.cost,
+        proven_optimal: r.proven_optimal,
+        explored: r.explored,
+    }));
+    // winner: lowest cost, ties broken by member order (the refined
+    // incumbent first, then strategies) — completion order never matters.
+    // Searches are seeded with the incumbent, so a strategy only wins by
+    // strictly improving on it.
+    let proven = core.results.iter().any(|(_, r)| r.proven_optimal);
+    let win = (0..core.results.len())
+        .min_by_key(|&i| (core.results[i].1.cost, i))
         .expect("portfolio has at least one member");
-    let proven = results.iter().any(|(_, r)| r.proven_optimal);
-    let (winner, best) = &results[win];
+    let (winner, best) = &core.results[win];
+    let (selection, cost, winner) = if best.cost < core.incumbent_cost {
+        (best.selection.clone(), best.cost, *winner)
+    } else {
+        (core.incumbent, core.incumbent_cost, core.incumbent_name)
+    };
     PortfolioResult {
-        selection: best.selection.clone(),
-        cost: best.cost,
+        selection,
+        cost,
         proven_optimal: proven,
         winner,
         workers,
+        lower_bound: if proven { cost } else { core.root_bound },
     }
 }
 
@@ -263,18 +371,29 @@ pub fn extract_portfolio_k(
     cm: &CostModel,
     config: &PortfolioConfig,
 ) -> PortfolioHarvest {
-    let (greedy, greedy_cost, short_circuit, results) = run_portfolio(eg, roots, cm, config);
+    let core = run_portfolio(eg, roots, cm, config);
     let mut members = vec![HarvestedSelection {
         strategy: "greedy",
-        selection: greedy,
-        cost: greedy_cost,
-        proven_optimal: short_circuit,
+        selection: core.greedy,
+        cost: core.greedy_cost,
+        proven_optimal: core.short_circuit && core.incumbent_name == "greedy",
         explored: 0,
     }];
-    if short_circuit {
-        return PortfolioHarvest { members, winner: 0 };
+    if core.incumbent_name != "greedy" {
+        members.push(HarvestedSelection {
+            strategy: core.incumbent_name,
+            selection: core.incumbent,
+            cost: core.incumbent_cost,
+            proven_optimal: core.short_circuit,
+            explored: 0,
+        });
     }
-    for (name, r) in results {
+    if core.short_circuit {
+        // the proven member is the last pushed (greedy or refine)
+        let winner = members.len() - 1;
+        return PortfolioHarvest { members, winner, lower_bound: core.incumbent_cost };
+    }
+    for (name, r) in core.results {
         members.push(HarvestedSelection {
             strategy: name,
             selection: r.selection,
@@ -283,13 +402,16 @@ pub fn extract_portfolio_k(
             explored: r.explored,
         });
     }
-    // same winner the plain portfolio reports: best strategy by
-    // (cost, strategy order); the seeded incumbent can never beat its own
-    // workers, so greedy only wins via the short-circuit above
-    let winner = (1..members.len())
+    // same winner the plain portfolio reports: lowest cost with ties
+    // toward the earlier member (refined incumbent before the strategies,
+    // which only beat their own seed by strictly improving on it; the
+    // plain greedy at index 0 only wins when nothing improved on it)
+    let winner = (0..members.len())
         .min_by_key(|&i| (members[i].cost, i))
-        .expect("non-short-circuit portfolio has at least one strategy member");
-    PortfolioHarvest { members, winner }
+        .expect("harvest always contains the greedy incumbent");
+    let proven = members.iter().any(|m| m.proven_optimal);
+    let lower_bound = if proven { members[winner].cost } else { core.root_bound };
+    PortfolioHarvest { members, winner, lower_bound }
 }
 
 #[cfg(test)]
@@ -360,13 +482,13 @@ mod tests {
     }
 
     #[test]
-    fn zero_budget_returns_greedy_incumbent() {
+    fn refined_incumbent_meets_bound_and_short_circuits() {
         // root 1's class holds add(u, u) (heavy u, shared) and add(v1, v2)
         // (two cheap muls); root 2 forces u to be selected anyway. Greedy
         // is tree-optimal and picks the muls (DAG 143); reusing u is the
-        // DAG optimum (122). The admissible bound (120) stays below it, so
-        // the short-circuit cannot fire and the one-node budget must stop
-        // every worker before any improvement.
+        // DAG optimum (122). The refinement stage finds the switch, the
+        // LP root bound certifies it, and the portfolio proves optimality
+        // without spawning a single search — even at a one-node budget.
         let mut eg = EGraph::new();
         let a = eg.add(Node::sym("a"));
         let b = eg.add(Node::sym("b"));
@@ -381,15 +503,23 @@ mod tests {
         let r2 = eg.add(Node::new(Op::Neg, vec![u]));
         let roots = vec![eg.find(uu), eg.find(r2)];
         let cm = CostModel::paper();
+        let g = extract_greedy(&eg, &roots, &cm).dag_cost(&eg, &cm, &roots);
         let cfg = PortfolioConfig { threads: 2, node_budget: 1, ..PortfolioConfig::default() };
         let res = extract_portfolio(&eg, &roots, &cm, &cfg);
-        assert!(!res.proven_optimal);
-        let g = extract_greedy(&eg, &roots, &cm);
-        assert_eq!(res.cost, g.dag_cost(&eg, &cm, &roots));
-        // with a real budget the portfolio then beats the incumbent
+        assert!(res.proven_optimal, "refine + LP bound must certify without search");
+        assert_eq!(res.winner, "refine");
+        assert!(res.cost < g, "refined {} must beat greedy {}", res.cost, g);
+        assert_eq!(res.cost, 122);
+        assert_eq!(res.lower_bound, 122);
+        assert_eq!(res.workers.len(), 1);
+        assert_eq!(res.workers[0].explored, 0);
+        // a full-budget run agrees byte-for-byte
         let res2 = extract_portfolio(&eg, &roots, &cm, &PortfolioConfig::default());
+        assert_eq!(res2.cost, res.cost);
         assert!(res2.proven_optimal);
-        assert!(res2.cost < res.cost);
+        for &r in &roots {
+            assert_eq!(res2.selection.term_string(&eg, r), res.selection.term_string(&eg, r));
+        }
     }
 
     #[test]
@@ -410,6 +540,41 @@ mod tests {
                 assert_eq!(w.selection.term_string(&eg, *r), plain.selection.term_string(&eg, *r));
             }
         }
+        // every member is a complete, costable selection
+        for m in &harvest.members {
+            assert_eq!(m.selection.dag_cost(&eg, &cm, &roots), m.cost);
+        }
+    }
+
+    #[test]
+    fn harvest_includes_refined_member_when_it_improves() {
+        // the uu/vv trade-off: refinement strictly beats greedy, so the
+        // harvest carries both — greedy first, refine second — and the
+        // winner agrees with the plain portfolio
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let c = eg.add(Node::sym("c"));
+        let u = eg.add(Node::new(Op::Div, vec![a, b]));
+        let uu = eg.add(Node::new(Op::Add, vec![u, u]));
+        let v1 = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let v2 = eg.add(Node::new(Op::Mul, vec![b, c]));
+        let vv = eg.add(Node::new(Op::Add, vec![v1, v2]));
+        eg.union(uu, vv);
+        eg.rebuild();
+        let r2 = eg.add(Node::new(Op::Neg, vec![u]));
+        let roots = vec![eg.find(uu), eg.find(r2)];
+        let cm = CostModel::paper();
+        let cfg = PortfolioConfig::default();
+        let harvest = extract_portfolio_k(&eg, &roots, &cm, &cfg);
+        let plain = extract_portfolio(&eg, &roots, &cm, &cfg);
+        assert_eq!(harvest.members[0].strategy, "greedy");
+        assert_eq!(harvest.members[1].strategy, "refine");
+        assert!(harvest.members[1].cost < harvest.members[0].cost);
+        let w = &harvest.members[harvest.winner];
+        assert_eq!(w.strategy, plain.winner);
+        assert_eq!(w.cost, plain.cost);
+        assert_eq!(harvest.lower_bound, plain.lower_bound);
         // every member is a complete, costable selection
         for m in &harvest.members {
             assert_eq!(m.selection.dag_cost(&eg, &cm, &roots), m.cost);

@@ -1,0 +1,251 @@
+//! DAG-aware incumbent refinement: deterministic primal heuristics that
+//! improve a selection's *DAG* cost before branch-and-bound ever runs.
+//!
+//! The greedy extraction ([`crate::greedy`]) is tree-optimal per class and
+//! therefore blind to sharing: it duplicates work whenever duplication is
+//! cheaper *per use*. The exact search fixes that in principle, but on the
+//! hardest suite kernels the optimal alignment of choices hides hundreds
+//! of millions of branch nodes deep. These two heuristics find much of
+//! that alignment in milliseconds:
+//!
+//! * [`climb`] — best-improvement hill climbing over single-class
+//!   candidate switches, scored by true DAG cost over the roots, repeated
+//!   to a fixpoint. Finds improvements where one class's choice should
+//!   redirect onto subterms the rest of the selection already pays for
+//!   (LU `jacld`: 790 → 720, beating a 100 M-node search's best of 770).
+//! * [`marginal_greedy`] — a second greedy that commits classes one at a
+//!   time (deterministic smallest-id order from the roots) and scores
+//!   every candidate with *already-committed classes free*, recomputing
+//!   the marginal-cost fixpoint after each commit. Where the plain greedy
+//!   asks "what is cheapest in isolation", this asks "what is cheapest
+//!   given what the selection already contains" (olbm `lbm_stream`:
+//!   1983 → 1973).
+//!
+//! Neither heuristic can certify anything — the portfolio re-checks the
+//! refined incumbent against the LP root bound and otherwise hands it to
+//! the branch-and-bound race, which can only benefit from the tighter
+//! upper bound. Both are fully deterministic: fixed iteration orders,
+//! cost-then-candidate-order tie-breaking, no clocks.
+
+use crate::bnb::SearchContext;
+use crate::cost::CostModel;
+use crate::selection::Selection;
+use accsat_egraph::{EGraph, Id, Node};
+use std::collections::BTreeSet;
+
+/// Best-improvement hill climbing over single-class candidate switches.
+///
+/// `sel` must be a *total* cover (every finite-cost class chosen — what
+/// [`crate::extract_greedy`] returns and what `fill_from` restores); the
+/// result is again a total cover. Each pass visits the root-reachable
+/// classes in ascending id order and applies the cheapest strictly
+/// improving switch per class (ties keep the current node, then the
+/// earlier candidate); passes repeat until a fixpoint. Terminates because
+/// every accepted switch strictly lowers the DAG cost.
+pub fn climb(
+    eg: &EGraph,
+    cx: &SearchContext<'_>,
+    cm: &CostModel,
+    roots: &[Id],
+    mut sel: Selection,
+) -> Selection {
+    let mut cur_cost = sel.dag_cost(eg, cm, roots);
+    loop {
+        let mut improved = false;
+        let mut classes = sel.reachable(eg, roots);
+        classes.sort_unstable();
+        for id in classes {
+            let cur_node = sel.node(eg, id).clone();
+            let mut best: (u64, Option<Node>) = (cur_cost, None);
+            for cand in cx.candidates(id) {
+                if cand == cur_node || sel.would_cycle(eg, id, &cand) {
+                    continue;
+                }
+                let mut trial = sel.clone();
+                trial.choose(eg, id, cand.clone());
+                let c = trial.dag_cost(eg, cm, roots);
+                if c < best.0 {
+                    best = (c, Some(cand));
+                }
+            }
+            if let (c, Some(node)) = best {
+                sel.choose(eg, id, node);
+                cur_cost = c;
+                improved = true;
+            }
+        }
+        if !improved {
+            return sel;
+        }
+    }
+}
+
+/// Fixpoint marginal tree costs with the `included` classes free.
+fn marginal_costs(
+    eg: &EGraph,
+    cx: &SearchContext<'_>,
+    cm: &CostModel,
+    included: &[bool],
+) -> Vec<Option<u64>> {
+    let n = included.len();
+    let mut costs: Vec<Option<u64>> = vec![None; n];
+    for (c, &inc) in included.iter().enumerate() {
+        if inc {
+            costs[c] = Some(0);
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for c in 0..n {
+            if included[c] {
+                continue;
+            }
+            let mut best = costs[c];
+            for cand in cx.candidates(Id::from(c)) {
+                let mut total = Some(cm.op_cost(&cand.op));
+                for &ch in &cand.children {
+                    total = match (total, costs[eg.find(ch).index()]) {
+                        (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                        _ => None,
+                    };
+                }
+                if let Some(t) = total {
+                    if best.is_none_or(|b| t < b) {
+                        best = Some(t);
+                    }
+                }
+            }
+            if best != costs[c] {
+                costs[c] = best;
+                changed = true;
+            }
+        }
+    }
+    costs
+}
+
+/// Sequential marginal greedy: commit one class at a time (smallest
+/// pending id first, starting from the roots), scoring each candidate by
+/// op cost plus the marginal tree cost of its children with everything
+/// already committed counted as free. The returned selection covers the
+/// committed closure only — complete it with [`Selection::fill_from`]
+/// before cost comparisons or codegen.
+///
+/// The marginal scorer counts an included class as free regardless of
+/// well-foundedness, so on cyclic e-graphs a top-scoring candidate can
+/// close a cycle through earlier commits; such candidates are skipped,
+/// and if a class retains no acyclic candidate at all the heuristic gives
+/// up and returns `None` (the caller keeps its previous incumbent).
+pub fn marginal_greedy(
+    eg: &EGraph,
+    cx: &SearchContext<'_>,
+    cm: &CostModel,
+    roots: &[Id],
+) -> Option<Selection> {
+    let n = eg.classes().map(|(id, _)| id.index() + 1).max().unwrap_or(0);
+    let mut included = vec![false; n];
+    let mut sel = Selection::new();
+    let mut queue: BTreeSet<usize> = roots.iter().map(|&r| eg.find(r).index()).collect();
+    while let Some(&c) = queue.iter().next() {
+        queue.remove(&c);
+        if included[c] {
+            continue;
+        }
+        included[c] = true;
+        let costs = marginal_costs(eg, cx, cm, &included);
+        let mut best: Option<(u64, Node)> = None;
+        for cand in cx.candidates(Id::from(c)) {
+            if sel.would_cycle(eg, Id::from(c), &cand) {
+                continue;
+            }
+            let mut total = Some(cm.op_cost(&cand.op));
+            for &ch in &cand.children {
+                total = match (total, costs[eg.find(ch).index()]) {
+                    (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                    _ => None,
+                };
+            }
+            if let Some(t) = total {
+                if best.as_ref().is_none_or(|(b, _)| t < *b) {
+                    best = Some((t, cand));
+                }
+            }
+        }
+        let (_, node) = best?;
+        for &ch in &node.children {
+            let chi = eg.find(ch).index();
+            if !included[chi] {
+                queue.insert(chi);
+            }
+        }
+        sel.choose(eg, Id::from(c), node);
+    }
+    Some(sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::extract_greedy;
+    use accsat_egraph::Op;
+
+    /// The sharing trade-off where greedy is DAG-suboptimal: root 1's
+    /// class holds `add(u, u)` (heavy shared u) and `add(v1, v2)` (two
+    /// cheap muls); root 2 forces u anyway.
+    fn tradeoff() -> (EGraph, Vec<Id>) {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let c = eg.add(Node::sym("c"));
+        let u = eg.add(Node::new(Op::Div, vec![a, b]));
+        let uu = eg.add(Node::new(Op::Add, vec![u, u]));
+        let v1 = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let v2 = eg.add(Node::new(Op::Mul, vec![b, c]));
+        let vv = eg.add(Node::new(Op::Add, vec![v1, v2]));
+        eg.union(uu, vv);
+        eg.rebuild();
+        let r2 = eg.add(Node::new(Op::Neg, vec![u]));
+        let roots = vec![eg.find(uu), eg.find(r2)];
+        (eg, roots)
+    }
+
+    #[test]
+    fn climb_finds_the_sharing_switch() {
+        let (eg, roots) = tradeoff();
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        let greedy = extract_greedy(&eg, &roots, &cm);
+        let g = greedy.dag_cost(&eg, &cm, &roots);
+        let refined = climb(&eg, &cx, &cm, &roots, greedy);
+        let r = refined.dag_cost(&eg, &cm, &roots);
+        assert!(r < g, "climb must find the shared-u switch: {r} !< {g}");
+        assert_eq!(r, 122); // add 10 + div 100 + a 1 + b 1 + neg 10
+    }
+
+    #[test]
+    fn climb_is_deterministic_and_never_worse() {
+        let (eg, roots) = tradeoff();
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        let greedy = extract_greedy(&eg, &roots, &cm);
+        let a = climb(&eg, &cx, &cm, &roots, greedy.clone());
+        let b = climb(&eg, &cx, &cm, &roots, greedy.clone());
+        for &r in &roots {
+            assert_eq!(a.term_string(&eg, r), b.term_string(&eg, r));
+        }
+        assert!(a.dag_cost(&eg, &cm, &roots) <= greedy.dag_cost(&eg, &cm, &roots));
+    }
+
+    #[test]
+    fn marginal_greedy_covers_roots_and_is_costable() {
+        let (eg, roots) = tradeoff();
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        let mut sel = marginal_greedy(&eg, &cx, &cm, &roots).expect("acyclic graph");
+        sel.fill_from(&extract_greedy(&eg, &roots, &cm));
+        let c = sel.dag_cost(&eg, &cm, &roots);
+        // the marginal scorer sees u as free once root 2 commits it
+        assert!(c <= 143, "marginal greedy must not be worse than plain greedy: {c}");
+    }
+}

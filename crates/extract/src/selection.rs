@@ -128,8 +128,17 @@ impl Selection {
     /// equal exactly when they choose the same node for every class
     /// reachable from `roots` — the autotuner uses this to drop
     /// structurally identical candidates before spending simulation budget
-    /// on them. (Classes outside the reachable closure never influence the
-    /// generated kernel's computation, so they are excluded on purpose.)
+    /// on them.
+    ///
+    /// **Invariant — root-reachable choices only.** Classes outside the
+    /// roots' reachable closure never influence the generated kernel's
+    /// computation, so they are excluded *on purpose*: a minimal
+    /// branch-and-bound selection completed with [`Selection::fill_from`]
+    /// hashes identically to the same selection completed from a
+    /// different donor (or not completed at all), and the autotuner's
+    /// dedup therefore collapses candidates that differ only in the
+    /// cost-irrelevant filler. Hash the printed kernel instead if filler
+    /// classes ever become observable.
     pub fn content_hash(&self, eg: &EGraph, roots: &[Id]) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -235,6 +244,51 @@ mod tests {
         let c = eg.add(Node::sym("c"));
         s3.choose(&eg, c, Node::sym("c"));
         assert_eq!(s2.content_hash(&eg, &roots), s3.content_hash(&eg, &roots));
+    }
+
+    #[test]
+    fn content_hash_ignores_fill_from_filler() {
+        // a minimal selection covering only the root's closure, completed
+        // by fill_from with two different donors: the donors differ in a
+        // non-root class, so both completions (and the minimal selection
+        // itself) must dedup to one content hash
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let root = eg.add(Node::new(Op::Add, vec![a, a]));
+        let side = eg.add(Node::new(Op::Div, vec![a, b]));
+        let side_alt = eg.add(Node::new(Op::Mul, vec![a, b]));
+        eg.union(side, side_alt);
+        eg.rebuild();
+        let roots = [eg.find(root)];
+
+        let mut minimal = Selection::new();
+        minimal.choose(&eg, a, Node::sym("a"));
+        minimal.choose(&eg, root, Node::new(Op::Add, vec![a, a]));
+        let h_min = minimal.content_hash(&eg, &roots);
+
+        let mut donor_div = minimal.clone();
+        donor_div.choose(&eg, b, Node::sym("b"));
+        donor_div.choose(&eg, side, Node::new(Op::Div, vec![a, b]));
+        let mut donor_mul = minimal.clone();
+        donor_mul.choose(&eg, b, Node::sym("b"));
+        donor_mul.choose(&eg, side, Node::new(Op::Mul, vec![a, b]));
+
+        let mut filled_div = minimal.clone();
+        filled_div.fill_from(&donor_div);
+        let mut filled_mul = minimal.clone();
+        filled_mul.fill_from(&donor_mul);
+        assert_ne!(
+            filled_div.node(&eg, side),
+            filled_mul.node(&eg, side),
+            "the fillers really differ outside the root closure"
+        );
+        assert_eq!(filled_div.content_hash(&eg, &roots), h_min);
+        assert_eq!(filled_mul.content_hash(&eg, &roots), h_min);
+        // …and a genuinely different root-reachable choice still changes it
+        let mut other = filled_div.clone();
+        other.choose(&eg, a, Node::sym("b"));
+        assert_ne!(other.content_hash(&eg, &roots), h_min);
     }
 
     #[test]

@@ -178,3 +178,165 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Small adversarial e-graphs (≤ ~12 classes) built from explicit node and
+// union lists — unlike the saturated term graphs above, these can contain
+// cycles, uncoverable classes and equal-cost orbits, which is exactly what
+// the LP-relaxation bound and the pruning passes must stay sound on.
+// ---------------------------------------------------------------------------
+
+use accsat_extract::{climb, extract_unpruned, marginal_greedy};
+
+/// Recipe for a small random e-graph: three symbol leaves, then ops over
+/// earlier nodes (indices mod current length), then random unions.
+fn small_graph(ops: &[(u8, usize, usize)], unions: &[(usize, usize)]) -> EGraph {
+    let mut eg = EGraph::new();
+    let mut nodes = vec![eg.add(Node::sym("a")), eg.add(Node::sym("b")), eg.add(Node::sym("c"))];
+    for &(k, i, j) in ops {
+        let x = nodes[i % nodes.len()];
+        let y = nodes[j % nodes.len()];
+        let n = match k % 5 {
+            0 => Node::new(Op::Add, vec![x, y]),
+            1 => Node::new(Op::Mul, vec![x, y]),
+            2 => Node::new(Op::Div, vec![x, y]),
+            3 => Node::new(Op::Neg, vec![x]),
+            _ => Node::new(Op::Fma, vec![x, y, x]),
+        };
+        nodes.push(eg.add(n));
+    }
+    for &(i, j) in unions {
+        let x = nodes[i % nodes.len()];
+        let y = nodes[j % nodes.len()];
+        eg.union(x, y);
+    }
+    eg.rebuild();
+    eg
+}
+
+/// Node recipe list: `(op selector, child index, child index)`.
+type OpList = Vec<(u8, usize, usize)>;
+/// Union recipe list: pairs of node indices to merge.
+type UnionList = Vec<(usize, usize)>;
+
+fn small_graph_strategy() -> impl Strategy<Value = (OpList, UnionList)> {
+    (
+        proptest::collection::vec((0u8..5, 0usize..16, 0usize..16), 1..9),
+        proptest::collection::vec((0usize..16, 0usize..16), 0..4),
+    )
+}
+
+/// Every class of the e-graph that survives the finite-cost filter, as a
+/// canonical root list (deduplicated).
+fn coverable_classes(eg: &EGraph, cx: &SearchContext) -> Vec<Id> {
+    let mut ids: Vec<Id> =
+        eg.classes().map(|(id, _)| id).filter(|&id| !cx.candidates(id).is_empty()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LP-relaxation admissibility (the satellite's core claim): for every
+    /// coverable class of a small random e-graph, `fractional_bound(c)`
+    /// never exceeds the exhaustive exact optimum of covering `{c}`,
+    /// computed by the fully unpruned reference search.
+    #[test]
+    fn fractional_bound_is_admissible_vs_exhaustive(
+        (ops, unions) in small_graph_strategy()
+    ) {
+        let eg = small_graph(&ops, &unions);
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        for id in coverable_classes(&eg, &cx) {
+            let oracle = extract_unpruned(&eg, &[id], &cm, 2_000_000);
+            if !oracle.proven_optimal { continue; }
+            prop_assert!(
+                cx.fractional_bound(id) <= oracle.cost,
+                "class {}: fractional bound {} exceeds exhaustive optimum {}",
+                id, cx.fractional_bound(id), oracle.cost
+            );
+            // and the multi-root bound specializes to the same value
+            prop_assert!(cx.root_lower_bound(&[id]) <= oracle.cost);
+        }
+    }
+
+    /// Differential oracle (the satellite's second claim): the fully
+    /// strengthened search — symmetry breaking, dominance, closure
+    /// dominance, LP bound, φ-chain closures — returns the same optimal
+    /// cost as the unpruned exact search, on the same small random graphs.
+    #[test]
+    fn strengthened_search_equals_unpruned_oracle(
+        (ops, unions) in small_graph_strategy()
+    ) {
+        let eg = small_graph(&ops, &unions);
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        let roots = coverable_classes(&eg, &cx);
+        if roots.is_empty() { return Ok(()); }
+        let oracle = extract_unpruned(&eg, &roots, &cm, 2_000_000);
+        if !oracle.proven_optimal { return Ok(()); }
+        let fast = extract_exact_with(
+            &eg, &roots, &cm, &proving_opts(ClassOrder::BestFirst));
+        prop_assert!(fast.proven_optimal, "strengthened search must also finish");
+        prop_assert!(
+            fast.cost == oracle.cost,
+            "pruning changed the optimum: {} != {}", fast.cost, oracle.cost
+        );
+        prop_assert!(fast.explored <= oracle.explored,
+            "pruning must not grow the tree");
+        prop_assert!(fast.selection.dag_cost(&eg, &cm, &roots) == fast.cost);
+        // the portfolio (refinement included) agrees too
+        let cfg = PortfolioConfig {
+            threads: 2,
+            node_budget: 5_000_000,
+            deadline: std::time::Duration::from_secs(60),
+        };
+        let p = extract_portfolio(&eg, &roots, &cm, &cfg);
+        prop_assert!(p.proven_optimal);
+        prop_assert!(p.cost == oracle.cost, "portfolio: {} != {}", p.cost, oracle.cost);
+        prop_assert!(p.lower_bound == p.cost, "proven ⇒ bound gap 0");
+    }
+
+    /// The bound lattice: forced-children closure ⊑ LP relaxation ⊑ true
+    /// optimum, on saturated term graphs (the production shape).
+    #[test]
+    fn bound_lattice_is_ordered(a in term_strategy(), b in term_strategy()) {
+        let (eg, roots) = saturated_graph(&a, &b);
+        let cm = CostModel::paper();
+        let res = extract_exact_with(&eg, &roots, &cm, &proving_opts(ClassOrder::BestFirst));
+        if !res.proven_optimal { return Ok(()); }
+        let cx = SearchContext::build(&eg, &cm);
+        let forced = cx.forced_lower_bound(&roots);
+        let lp = cx.root_lower_bound(&roots);
+        prop_assert!(forced <= lp, "forced {} above LP {}", forced, lp);
+        prop_assert!(lp <= res.cost, "LP {} above optimum {}", lp, res.cost);
+    }
+
+    /// Refinement is sound: hill climbing and the marginal greedy never
+    /// worsen the incumbent, report exactly their recomputed DAG cost, and
+    /// never drop below the proven optimum.
+    #[test]
+    fn refinement_is_sound(a in term_strategy(), b in term_strategy()) {
+        let (eg, roots) = saturated_graph(&a, &b);
+        let cm = CostModel::paper();
+        let cx = SearchContext::build(&eg, &cm);
+        let greedy = extract_greedy(&eg, &roots, &cm);
+        let g = greedy.dag_cost(&eg, &cm, &roots);
+        let climbed = climb(&eg, &cx, &cm, &roots, greedy.clone());
+        let c = climbed.dag_cost(&eg, &cm, &roots);
+        prop_assert!(c <= g, "climb worsened the incumbent: {} > {}", c, g);
+        if let Some(mut m) = marginal_greedy(&eg, &cx, &cm, &roots) {
+            m.fill_from(&greedy);
+            let mc = m.dag_cost(&eg, &cm, &roots); // must not panic (acyclic cover)
+            let exact = extract_exact_with(
+                &eg, &roots, &cm, &proving_opts(ClassOrder::BestFirst));
+            if exact.proven_optimal {
+                prop_assert!(mc >= exact.cost, "refined below the optimum?!");
+                prop_assert!(c >= exact.cost);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Certification regression: per-kernel extraction cost, certified lower
+//! bound, bound gap, proof status and winning member for **all 19 suite
+//! kernels**, pinned byte-for-byte.
+//!
+//! The point of this table is to make pruning bugs loud: a change to the
+//! branch-and-bound, the LP-relaxation bound, the refinement heuristics or
+//! the candidate pruning that silently drops the optimum (or silently
+//! un-proves a kernel) fails CI with a diff of exactly which kernel moved
+//! and how. Deliberate improvements update the table — with the diff as
+//! the review artifact.
+//!
+//! Everything pinned here is deterministic by construction: node-count
+//! budgets, not clocks, end every search (the test raises the wall-clock
+//! safety valve so debug builds cannot trip it), and all tie-breaks are
+//! fixed orderings. Explored-node counts are *not* pinned: they change
+//! with any search refinement, which would make every improvement look
+//! like a regression.
+
+use accsat::batch::{optimize_suite, ParallelConfig};
+use accsat::{SaturatorConfig, Variant};
+use std::time::Duration;
+
+/// The expected certification table at the default 60 k-node budget.
+/// Columns: benchmark, kernel, e-graph nodes, extracted DAG cost,
+/// certified lower bound, bound gap, proven?, winning member.
+const EXPECTED: &str = "\
+BT bt_zsolve 1184 3391 3081 310 unproven greedy
+BT bt_rhs 73 1526 1526 0 proven bnb-bestfirst
+CG cg_spmv 22 318 318 0 proven greedy
+CG cg_axpy 20 325 325 0 proven greedy
+EP ep_gauss 121 462 462 0 proven greedy
+FT ft_butterfly 48 706 706 0 proven greedy
+FT ft_evolve 33 455 455 0 proven greedy
+LU lu_jacld 2588 720 570 150 unproven refine
+MG mg_resid 1020 1198 1198 0 proven greedy
+SP sp_lhs 227 668 668 0 proven bnb-bestfirst
+ostencil stencil_jacobi 951 846 846 0 proven greedy
+olbm lbm_stream 1945 1973 1643 330 unproven refine
+omriq mriq_computeq 125 1105 1105 0 proven greedy
+ep ep_gauss 121 462 462 0 proven greedy
+cg cg_spmv 22 318 318 0 proven greedy
+cg cg_axpy 20 325 325 0 proven greedy
+csp sp_lhs 227 668 668 0 proven bnb-bestfirst
+bt bt_zsolve 1184 3391 3081 310 unproven greedy
+bt bt_rhs 73 1526 1526 0 proven bnb-bestfirst
+";
+
+#[test]
+fn all_19_suite_kernels_certification_is_pinned() {
+    let benches = accsat_benchmarks::all_benchmarks();
+    // default configuration — the deterministic 60 k node budget is what
+    // ends the hard searches — except the wall-clock safety valves, which
+    // are raised so a slow debug build cannot turn a proof into a timeout
+    let mut cfg = SaturatorConfig {
+        extraction_budget: Duration::from_secs(600),
+        ..SaturatorConfig::default()
+    };
+    cfg.limits.time_limit = Duration::from_secs(600);
+    let par = ParallelConfig { threads: 1, kernel_deadline: None, shard: None };
+    let report = optimize_suite(&benches, Variant::AccSat, &cfg, &par).unwrap();
+
+    let mut table = String::new();
+    for b in &report.benchmarks {
+        for f in &b.functions {
+            for s in &f.stats {
+                table.push_str(&format!(
+                    "{} {} {} {} {} {} {} {}\n",
+                    b.benchmark,
+                    f.function,
+                    s.egraph_nodes,
+                    s.extracted_cost,
+                    s.extraction_lower_bound,
+                    s.bound_gap(),
+                    if s.extraction_proven { "proven" } else { "unproven" },
+                    s.extraction_winner,
+                ));
+            }
+        }
+    }
+    assert_eq!(
+        table, EXPECTED,
+        "per-kernel certification moved — if this is a deliberate \
+         improvement, update EXPECTED with the diff above"
+    );
+
+    // aggregate invariants the table implies, asserted separately so a
+    // partial parse of the diff still tells the story
+    assert_eq!(report.total_kernels(), 19);
+    assert_eq!(report.proven_kernels(), 15);
+    assert_eq!(report.total_cost(), 20383);
+    assert_eq!(report.total_bound_gap(), 1100);
+    // every unproven kernel reports a non-trivial certified bound
+    for b in &report.benchmarks {
+        for s in b.kernel_stats() {
+            assert!(s.extraction_lower_bound <= s.extracted_cost);
+            if s.extraction_proven {
+                assert_eq!(s.bound_gap(), 0, "{}: proven kernels have no gap", s.function);
+            } else {
+                assert!(s.extraction_lower_bound > 0, "{}: vacuous bound", s.function);
+            }
+        }
+    }
+}
