@@ -15,9 +15,11 @@
 //! OpenMP variants are derived mechanically from the OpenACC sources with
 //! [`acc_to_omp`], mirroring how the paper's suites pair the two models.
 
+pub mod genkern;
 pub mod npb;
 pub mod spec;
 
+pub use genkern::{generate_kernel, GenConfig, GeneratedKernel, SplitMix64};
 pub use npb::npb_benchmarks;
 pub use spec::spec_benchmarks;
 

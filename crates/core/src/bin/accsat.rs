@@ -20,9 +20,15 @@
 //!              # simulation-guided autotuning: pick each kernel's code by
 //!              # simulated cycles over a harvested candidate set; output
 //!              # is byte-identical at any thread count
+//! accsat fuzz  [--cases N] [--seed S] [--threads T] [--json OUT.json]
+//!              [--corpus DIR]
+//!              # differential kernel fuzzing: random kernels through every
+//!              # variant, interpreter-checked against the original; fails
+//!              # on any divergence and writes minimized repros to --corpus
 //! ```
 
 use accsat::batch::{optimize_suite, tune_suite, ParallelConfig};
+use accsat::fuzz::{run_campaign, FuzzConfig};
 use accsat::{optimize_program, SaturatorConfig, Variant};
 use accsat_autotune::TuneConfig;
 use accsat_compilers::{Compiler, CompilerModel};
@@ -39,7 +45,9 @@ fn usage() -> ExitCode {
          \x20            [--shard I/N] [--tune]\n\
                 accsat tune [--suite npb|spec|all] [--threads N] [--device pcie|sxm]\n\
          \x20            [--compiler nvhpc|gcc] [--sweep H1,H2,...] [--keep K]\n\
-         \x20            [--shard I/N] [--json OUT.json]"
+         \x20            [--shard I/N] [--json OUT.json]\n\
+                accsat fuzz [--cases N] [--seed S] [--threads T] [--json OUT.json]\n\
+         \x20            [--corpus DIR]"
     );
     ExitCode::from(2)
 }
@@ -268,11 +276,103 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `accsat fuzz`: the differential kernel fuzzer. Stdout and the JSON
+/// report are deterministic functions of `--cases`/`--seed` alone — CI
+/// diffs them across thread counts; timing goes to stderr only.
+fn fuzz_main(args: Vec<String>) -> ExitCode {
+    let mut fc = FuzzConfig::default();
+    let mut json: Option<String> = None;
+    let mut corpus: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cases" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n > 0 => fc.cases = n,
+                _ => {
+                    eprintln!("--cases needs a positive integer");
+                    return usage();
+                }
+            },
+            "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(s) => fc.seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return usage();
+                }
+            },
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => fc.threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return usage();
+                }
+            },
+            "--json" => match it.next() {
+                Some(path) => json = Some(path),
+                None => {
+                    eprintln!("--json needs an output path");
+                    return usage();
+                }
+            },
+            "--corpus" => match it.next() {
+                Some(dir) => corpus = Some(dir),
+                None => {
+                    eprintln!("--corpus needs a directory");
+                    return usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown fuzz flag: {arg}");
+                return usage();
+            }
+        }
+    }
+
+    let t = std::time::Instant::now();
+    let report = run_campaign(&fc);
+    let wall = t.elapsed().as_secs_f64();
+    eprintln!(
+        "accsat fuzz: {} cases in {:.2} s ({:.0} cases/s) on {} thread{}",
+        fc.cases,
+        wall,
+        if wall > 0.0 { fc.cases as f64 / wall } else { 0.0 },
+        fc.threads,
+        if fc.threads == 1 { "" } else { "s" },
+    );
+    print!("{}", report.render_summary());
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_stable_json()) {
+            eprintln!("accsat fuzz: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = corpus {
+        match report.write_corpus(std::path::Path::new(&dir), &fc) {
+            Ok(paths) => {
+                if !paths.is_empty() {
+                    eprintln!("accsat fuzz: {} repro(s) written to {dir}", paths.len());
+                }
+            }
+            Err(e) => {
+                eprintln!("accsat fuzz: cannot write corpus to {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("batch") => return batch_main(args.into_iter().skip(1).collect(), false),
         Some("tune") => return batch_main(args.into_iter().skip(1).collect(), true),
+        Some("fuzz") => return fuzz_main(args.into_iter().skip(1).collect()),
         _ => {}
     }
     let mut variant = Variant::AccSat;

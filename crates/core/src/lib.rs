@@ -37,6 +37,7 @@
 
 pub mod batch;
 pub mod evaluate;
+pub mod fuzz;
 pub mod pipeline;
 pub mod report;
 
@@ -44,6 +45,10 @@ pub use batch::{
     optimize_suite, tune_suite, BatchReport, BenchmarkRecord, FunctionRecord, ParallelConfig,
 };
 pub use evaluate::{evaluate_benchmark, speedup, BenchmarkResult, KernelResult};
+pub use fuzz::{
+    check_kernel, check_seeded, minimize_function, run_campaign, run_case, CaseOutcome, Finding,
+    FuzzConfig, FuzzReport,
+};
 pub use pipeline::{
     optimize_function, optimize_program, tune_function, OptStats, SaturatorConfig, Variant,
 };

@@ -57,7 +57,7 @@ pub use portfolio::{
     PortfolioResult, WorkerOutcome, STRATEGY_COUNT,
 };
 pub use refine::{climb, marginal_greedy};
-pub use selection::Selection;
+pub use selection::{Selection, SelectionError};
 
 // Compile-time guarantee that extraction state crosses threads: the
 // portfolio borrows the e-graph from several scoped workers and sends

@@ -4,6 +4,30 @@ use crate::cost::CostModel;
 use accsat_egraph::{EGraph, Id, Node};
 use std::collections::HashMap;
 
+/// Why a selection could not be walked from its roots.
+///
+/// Extractor-produced selections are acyclic and total over the roots'
+/// closure by construction; the fuzz harness re-checks that contract with
+/// [`Selection::try_reachable`] instead of trusting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionError {
+    /// The chosen nodes form a cycle through this class.
+    Cyclic(Id),
+    /// A reachable class has no selected node.
+    Missing(Id),
+}
+
+impl std::fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectionError::Cyclic(id) => write!(f, "cyclic selection at {id}"),
+            SelectionError::Missing(id) => write!(f, "class {id} has no selected node"),
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}
+
 /// One chosen representative node per canonical e-class.
 #[derive(Debug, Clone, Default)]
 pub struct Selection {
@@ -57,8 +81,20 @@ impl Selection {
     }
 
     /// All classes reachable from `roots` through the selection, in
-    /// children-before-parents (topological) order.
+    /// children-before-parents (topological) order. Panics on a cyclic or
+    /// incomplete selection — see [`Selection::try_reachable`] for the
+    /// non-panicking variant.
     pub fn reachable(&self, eg: &EGraph, roots: &[Id]) -> Vec<Id> {
+        match self.try_reachable(eg, roots) {
+            Ok(order) => order,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Selection::reachable`] that reports a cyclic or incomplete
+    /// selection as an error instead of panicking, so the fuzz harness can
+    /// record the violated invariant and keep the campaign running.
+    pub fn try_reachable(&self, eg: &EGraph, roots: &[Id]) -> Result<Vec<Id>, SelectionError> {
         let mut order = Vec::new();
         let mut state: HashMap<Id, u8> = HashMap::new(); // 1=visiting, 2=done
         fn go(
@@ -67,25 +103,26 @@ impl Selection {
             id: Id,
             state: &mut HashMap<Id, u8>,
             order: &mut Vec<Id>,
-        ) {
+        ) -> Result<(), SelectionError> {
             let id = eg.find(id);
             match state.get(&id) {
-                Some(2) => return,
-                Some(1) => panic!("cyclic selection at {id}"),
+                Some(2) => return Ok(()),
+                Some(1) => return Err(SelectionError::Cyclic(id)),
                 _ => {}
             }
             state.insert(id, 1);
-            let node = sel.node(eg, id).clone();
+            let node = sel.get(eg, id).ok_or(SelectionError::Missing(id))?.clone();
             for &c in &node.children {
-                go(sel, eg, c, state, order);
+                go(sel, eg, c, state, order)?;
             }
             state.insert(id, 2);
             order.push(id);
+            Ok(())
         }
         for &r in roots {
-            go(self, eg, r, &mut state, &mut order);
+            go(self, eg, r, &mut state, &mut order)?;
         }
-        order
+        Ok(order)
     }
 
     /// True DAG cost: each reachable class's chosen op counted exactly once

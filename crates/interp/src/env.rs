@@ -126,6 +126,35 @@ impl ArrayData {
         }
     }
 
+    /// Read an element, returning `None` instead of panicking when `flat`
+    /// is past the end (defense-in-depth for adversarial fuzz inputs).
+    pub fn try_get(&self, flat: usize) -> Option<Value> {
+        match self {
+            ArrayData::F64 { data, .. } => data.get(flat).map(|&v| Value::Float(v)),
+            ArrayData::I64 { data, .. } => data.get(flat).map(|&v| Value::Int(v)),
+        }
+    }
+
+    /// Write an element if `flat` is in bounds; reports success.
+    pub fn try_set(&mut self, flat: usize, v: Value) -> bool {
+        match self {
+            ArrayData::F64 { data, .. } => match data.get_mut(flat) {
+                Some(slot) => {
+                    *slot = v.as_f64();
+                    true
+                }
+                None => false,
+            },
+            ArrayData::I64 { data, .. } => match data.get_mut(flat) {
+                Some(slot) => {
+                    *slot = v.as_i64();
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
     /// Copy out as `f64` for tolerant comparison.
     pub fn as_f64_vec(&self) -> Vec<f64> {
         match self {

@@ -3,9 +3,57 @@
 use crate::env::{Env, Value};
 use accsat_ir::{BinOp, Block, Expr, Function, LValue, Stmt, Type, UnOp};
 
-/// Evaluation errors (unbound names, out-of-bounds accesses, runaway loops).
+/// What went wrong, machine-readably. The differential fuzzer relies on
+/// this taxonomy to distinguish a real miscompile (an optimized kernel
+/// trapping where the original ran clean) from an interpreter limitation
+/// ([`EvalErrorKind::Unsupported`], [`EvalErrorKind::FuelExhausted`])
+/// without string-matching messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvalErrorKind {
+    /// A scalar was read (or required as a parameter) without a binding.
+    UnboundVariable,
+    /// An array was accessed (or required as a parameter) without a binding.
+    UnboundArray,
+    /// An index list whose arity matches neither the array's declared
+    /// dimensions nor the flat single-index view.
+    ShapeMismatch,
+    /// A well-shaped index outside the declared extents.
+    OutOfBounds,
+    /// Integer `/` or `%` by zero.
+    DivisionByZero,
+    /// The loop-iteration fuel budget ran out (runaway loop).
+    FuelExhausted,
+    /// A call to a function the interpreter does not model, or with the
+    /// wrong arity.
+    BadCall,
+    /// A construct outside the modeled C subset (e.g. float `%`).
+    Unsupported,
+}
+
+impl EvalErrorKind {
+    /// Short stable label (used in fuzz reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvalErrorKind::UnboundVariable => "unbound-variable",
+            EvalErrorKind::UnboundArray => "unbound-array",
+            EvalErrorKind::ShapeMismatch => "shape-mismatch",
+            EvalErrorKind::OutOfBounds => "out-of-bounds",
+            EvalErrorKind::DivisionByZero => "division-by-zero",
+            EvalErrorKind::FuelExhausted => "fuel-exhausted",
+            EvalErrorKind::BadCall => "bad-call",
+            EvalErrorKind::Unsupported => "unsupported",
+        }
+    }
+}
+
+/// Evaluation errors (unbound names, out-of-bounds accesses, runaway
+/// loops), carrying a typed [`EvalErrorKind`] plus a human-readable
+/// message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalError {
+    /// Machine-readable classification.
+    pub kind: EvalErrorKind,
+    /// Human-readable detail.
     pub message: String,
 }
 
@@ -17,8 +65,8 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-fn err<T>(msg: impl Into<String>) -> Result<T, EvalError> {
-    Err(EvalError { message: msg.into() })
+fn err<T>(kind: EvalErrorKind, msg: impl Into<String>) -> Result<T, EvalError> {
+    Err(EvalError { kind, message: msg.into() })
 }
 
 type EResult<T> = Result<T, EvalError>;
@@ -39,19 +87,49 @@ impl Default for Interpreter {
 
 /// Run `f` with parameters already bound in `env` (scalars by name; arrays
 /// by name in `env.arrays`). Returns the function's return value, if any.
+///
+/// Thin wrapper over [`try_run_function`] with the default fuel budget —
+/// kept with this exact signature for every existing caller.
 pub fn run_function(f: &Function, env: &mut Env) -> EResult<Option<Value>> {
-    let mut interp = Interpreter::default();
+    try_run_function(f, env, Interpreter::default().fuel)
+}
+
+/// Run `f` under an explicit loop-iteration `fuel` budget.
+///
+/// Identical to [`run_function`] otherwise: parameters must already be
+/// bound in `env`, and every failure mode comes back as a typed
+/// [`EvalError`] instead of a panic — unbound names, shape mismatches,
+/// out-of-bounds indices, division by zero, exhausted fuel.
+pub fn try_run_function(f: &Function, env: &mut Env, fuel: u64) -> EResult<Option<Value>> {
+    let mut interp = Interpreter { fuel };
     // check all params are bound
     for p in &f.params {
         if p.is_array() {
             if env.array(&p.name).is_none() {
-                return err(format!("array parameter `{}` not bound", p.name));
+                return err(
+                    EvalErrorKind::UnboundArray,
+                    format!("array parameter `{}` not bound", p.name),
+                );
             }
         } else if env.scalar(&p.name).is_none() {
-            return err(format!("scalar parameter `{}` not bound", p.name));
+            return err(
+                EvalErrorKind::UnboundVariable,
+                format!("scalar parameter `{}` not bound", p.name),
+            );
         }
     }
     interp.block(&f.body, env)
+}
+
+/// Classify a failed index: wrong arity is a shape mismatch, right arity
+/// out of range is out-of-bounds.
+fn index_error(base: &str, idx: &[i64], dims: &[usize]) -> EvalError {
+    let kind = if idx.len() != dims.len() && idx.len() != 1 {
+        EvalErrorKind::ShapeMismatch
+    } else {
+        EvalErrorKind::OutOfBounds
+    };
+    EvalError { kind, message: format!("index {idx:?} out of bounds for `{base}` {dims:?}") }
 }
 
 impl Interpreter {
@@ -67,7 +145,10 @@ impl Interpreter {
 
     fn burn(&mut self) -> EResult<()> {
         if self.fuel == 0 {
-            return err("loop fuel exhausted (non-terminating kernel?)");
+            return err(
+                EvalErrorKind::FuelExhausted,
+                "loop fuel exhausted (non-terminating kernel?)",
+            );
         }
         self.fuel -= 1;
         Ok(())
@@ -122,6 +203,7 @@ impl Interpreter {
                     }
                     let step = self.expr(&l.step, env)?;
                     let cur = env.scalar(&l.var).ok_or_else(|| EvalError {
+                        kind: EvalErrorKind::UnboundVariable,
                         message: format!("induction variable `{}` vanished", l.var),
                     })?;
                     env.set_scalar(&l.var, Value::Int(cur.as_i64() + step.as_i64()));
@@ -160,18 +242,18 @@ impl Interpreter {
 
     fn lvalue_read(&mut self, lv: &LValue, env: &mut Env) -> EResult<Value> {
         match lv {
-            LValue::Var(n) => env
-                .scalar(n)
-                .ok_or_else(|| EvalError { message: format!("unbound variable `{n}`") }),
+            LValue::Var(n) => env.scalar(n).ok_or_else(|| EvalError {
+                kind: EvalErrorKind::UnboundVariable,
+                message: format!("unbound variable `{n}`"),
+            }),
             LValue::Index { base, indices } => {
                 let idx = self.indices(indices, env)?;
-                let arr = env
-                    .array(base)
-                    .ok_or_else(|| EvalError { message: format!("unbound array `{base}`") })?;
-                let flat = arr.flatten(&idx).ok_or_else(|| EvalError {
-                    message: format!("index {idx:?} out of bounds for `{base}` {:?}", arr.dims()),
+                let arr = env.array(base).ok_or_else(|| EvalError {
+                    kind: EvalErrorKind::UnboundArray,
+                    message: format!("unbound array `{base}`"),
                 })?;
-                Ok(arr.get(flat))
+                let flat = arr.flatten(&idx).ok_or_else(|| index_error(base, &idx, arr.dims()))?;
+                arr.try_get(flat).ok_or_else(|| index_error(base, &idx, arr.dims()))
             }
         }
     }
@@ -189,13 +271,15 @@ impl Interpreter {
             }
             LValue::Index { base, indices } => {
                 let idx = self.indices(indices, env)?;
-                let arr = env
-                    .array_mut(base)
-                    .ok_or_else(|| EvalError { message: format!("unbound array `{base}`") })?;
-                let flat = arr.flatten(&idx).ok_or_else(|| EvalError {
-                    message: format!("index {idx:?} out of bounds for `{base}`"),
+                let arr = env.array_mut(base).ok_or_else(|| EvalError {
+                    kind: EvalErrorKind::UnboundArray,
+                    message: format!("unbound array `{base}`"),
                 })?;
-                arr.set(flat, v);
+                let flat = arr.flatten(&idx).ok_or_else(|| index_error(base, &idx, arr.dims()))?;
+                if !arr.try_set(flat, v) {
+                    let dims = arr.dims().to_vec();
+                    return Err(index_error(base, &idx, &dims));
+                }
                 Ok(None)
             }
         }
@@ -210,18 +294,18 @@ impl Interpreter {
         match e {
             Expr::Int(v) => Ok(Value::Int(*v)),
             Expr::Float(v) => Ok(Value::Float(*v)),
-            Expr::Var(n) => env
-                .scalar(n)
-                .ok_or_else(|| EvalError { message: format!("unbound variable `{n}`") }),
+            Expr::Var(n) => env.scalar(n).ok_or_else(|| EvalError {
+                kind: EvalErrorKind::UnboundVariable,
+                message: format!("unbound variable `{n}`"),
+            }),
             Expr::Index { base, indices } => {
                 let idx = self.indices(indices, env)?;
-                let arr = env
-                    .array(base)
-                    .ok_or_else(|| EvalError { message: format!("unbound array `{base}`") })?;
-                let flat = arr.flatten(&idx).ok_or_else(|| EvalError {
-                    message: format!("index {idx:?} out of bounds for `{base}` {:?}", arr.dims()),
+                let arr = env.array(base).ok_or_else(|| EvalError {
+                    kind: EvalErrorKind::UnboundArray,
+                    message: format!("unbound array `{base}`"),
                 })?;
-                Ok(arr.get(flat))
+                let flat = arr.flatten(&idx).ok_or_else(|| index_error(base, &idx, arr.dims()))?;
+                arr.try_get(flat).ok_or_else(|| index_error(base, &idx, arr.dims()))
             }
             Expr::Unary { op, operand } => {
                 let v = self.expr(operand, env)?;
@@ -290,13 +374,13 @@ fn apply_bin(op: BinOp, l: Value, r: Value) -> EResult<Value> {
             Mul => a.wrapping_mul(b),
             Div => {
                 if b == 0 {
-                    return err("integer division by zero");
+                    return err(EvalErrorKind::DivisionByZero, "integer division by zero");
                 }
                 a.wrapping_div(b)
             }
             Mod => {
                 if b == 0 {
-                    return err("integer modulo by zero");
+                    return err(EvalErrorKind::DivisionByZero, "integer modulo by zero");
                 }
                 a.wrapping_rem(b)
             }
@@ -317,7 +401,7 @@ fn apply_bin(op: BinOp, l: Value, r: Value) -> EResult<Value> {
         Sub => Value::Float(a - b),
         Mul => Value::Float(a * b),
         Div => Value::Float(a / b),
-        Mod => return err("floating modulo is not in the C subset"),
+        Mod => return err(EvalErrorKind::Unsupported, "floating modulo is not in the C subset"),
         Lt => Value::Int((a < b) as i64),
         Le => Value::Int((a <= b) as i64),
         Gt => Value::Int((a > b) as i64),
@@ -333,13 +417,13 @@ fn apply_bin(op: BinOp, l: Value, r: Value) -> EResult<Value> {
 fn builtin_call(name: &str, args: &[Value]) -> EResult<Value> {
     let f1 = |f: fn(f64) -> f64| -> EResult<Value> {
         if args.len() != 1 {
-            return err(format!("{name} expects 1 argument"));
+            return err(EvalErrorKind::BadCall, format!("{name} expects 1 argument"));
         }
         Ok(Value::Float(f(args[0].as_f64())))
     };
     let f2 = |f: fn(f64, f64) -> f64| -> EResult<Value> {
         if args.len() != 2 {
-            return err(format!("{name} expects 2 arguments"));
+            return err(EvalErrorKind::BadCall, format!("{name} expects 2 arguments"));
         }
         Ok(Value::Float(f(args[0].as_f64(), args[1].as_f64())))
     };
@@ -359,12 +443,12 @@ fn builtin_call(name: &str, args: &[Value]) -> EResult<Value> {
         "atan2" => f2(f64::atan2),
         "fma" => {
             if args.len() != 3 {
-                return err("fma expects 3 arguments");
+                return err(EvalErrorKind::BadCall, "fma expects 3 arguments");
             }
             // the paper's FMA semantics: fma(a, b, c) = a + b * c
             Ok(Value::Float(args[0].as_f64() + args[1].as_f64() * args[2].as_f64()))
         }
-        _ => err(format!("unknown function `{name}`")),
+        _ => err(EvalErrorKind::BadCall, format!("unknown function `{name}`")),
     }
 }
 

@@ -16,7 +16,7 @@ pub mod env;
 pub mod eval;
 
 pub use env::{ArrayData, Env, Value};
-pub use eval::{run_function, EvalError, Interpreter};
+pub use eval::{run_function, try_run_function, EvalError, EvalErrorKind, Interpreter};
 
 /// Compare two floats with relative tolerance `rel` (and absolute floor
 /// `abs` for values near zero).
@@ -37,6 +37,19 @@ pub fn approx_eq(a: f64, b: f64, rel: f64, abs: f64) -> bool {
 /// Compare two environments' arrays with tolerance; returns the first
 /// mismatch as `(array, flat index, lhs, rhs)`.
 pub fn compare_arrays(a: &Env, b: &Env, rel: f64) -> Option<(String, usize, f64, f64)> {
+    compare_arrays_with(a, b, rel, 1e-12)
+}
+
+/// [`compare_arrays`] with an explicit absolute floor. The fuzzer raises
+/// `abs` above the default 1e-12 because reassociation under fast-math
+/// semantics can cancel catastrophically near zero without being a
+/// miscompile; real miscompiles produce O(1) errors.
+pub fn compare_arrays_with(
+    a: &Env,
+    b: &Env,
+    rel: f64,
+    abs: f64,
+) -> Option<(String, usize, f64, f64)> {
     for (name, arr_a) in a.arrays() {
         let arr_b = match b.array(name) {
             Some(x) => x,
@@ -44,7 +57,7 @@ pub fn compare_arrays(a: &Env, b: &Env, rel: f64) -> Option<(String, usize, f64,
         };
         let (fa, fb) = (arr_a.as_f64_vec(), arr_b.as_f64_vec());
         for (i, (&x, &y)) in fa.iter().zip(fb.iter()).enumerate() {
-            if !approx_eq(x, y, rel, 1e-12) {
+            if !approx_eq(x, y, rel, abs) {
                 return Some((name.to_string(), i, x, y));
             }
         }

@@ -3,7 +3,7 @@
 
 use accsat_egraph::{EGraph, Id, Node, Op};
 use accsat_ir::{BinOp, Block, Expr, LValue, Stmt, Type, UnOp};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The target of an SSA assignment.
 #[derive(Debug, Clone)]
@@ -131,6 +131,7 @@ pub fn build_kernel(body: &Block) -> SsaKernel {
         env: HashMap::new(),
         initial: Vec::new(),
         arrays: Vec::new(),
+        declared: HashSet::new(),
         loop_counter: 0,
     };
     let nodes = b.block(body);
@@ -149,6 +150,10 @@ struct Builder {
     env: HashMap<String, Id>,
     initial: Vec<(String, Id)>,
     arrays: Vec<String>,
+    /// Names introduced by declarations inside the kernel. Everything else
+    /// (parameters, outer-scope variables, array states) has an ambient
+    /// value that exists before any branch executes.
+    declared: HashSet<String>,
     loop_counter: usize,
 }
 
@@ -164,9 +169,20 @@ impl Builder {
         if let Some(&id) = self.env.get(name) {
             return id;
         }
-        let id = self.eg.add(Node::sym(name));
+        let id = self.ambient(name);
         self.env.insert(name.to_string(), id);
-        self.initial.push((name.to_string(), id));
+        id
+    }
+
+    /// The initial (pre-kernel) value of a name: the incoming array state or
+    /// outer-scope variable. Hash-consing guarantees this is the same class
+    /// regardless of where the name is first touched, so a branch-local read
+    /// and a later kernel-level read of an untouched name agree.
+    fn ambient(&mut self, name: &str) -> Id {
+        let id = self.eg.add(Node::sym(name));
+        if !self.initial.iter().any(|(n, _)| n == name) {
+            self.initial.push((name.to_string(), id));
+        }
         id
     }
 
@@ -230,6 +246,7 @@ impl Builder {
             Stmt::Decl { ty, name, init } => match init {
                 Some(e) => {
                     let class = self.expr(e);
+                    self.declared.insert(name.clone());
                     self.env.insert(name.clone(), class);
                     out.push(SsaNode::Assign {
                         target: Target::Scalar { name: name.clone(), decl_ty: Some(ty.clone()) },
@@ -237,7 +254,10 @@ impl Builder {
                         state_class: None,
                     });
                 }
-                None => out.push(SsaNode::Decl { name: name.clone(), ty: ty.clone() }),
+                None => {
+                    self.declared.insert(name.clone());
+                    out.push(SsaNode::Decl { name: name.clone(), ty: ty.clone() });
+                }
             },
             Stmt::Assign { lhs, op, rhs } => {
                 let rhs_class = self.expr(rhs);
@@ -304,13 +324,23 @@ impl Builder {
                 names.sort();
                 names.dedup();
                 for name in names {
-                    let pre = before.get(name).copied();
+                    let pre = match before.get(name) {
+                        Some(&id) => Some(id),
+                        // Not bound before the branch, but not declared
+                        // inside the kernel either: the name has an ambient
+                        // pre-branch value (incoming array state, parameter,
+                        // outer-scope variable). A store under `if` must φ
+                        // against it, or a later read would alias the
+                        // pre-store state and license stale-load reuse.
+                        None if !self.declared.contains(name.as_str()) => Some(self.ambient(name)),
+                        None => None,
+                    };
                     let t = then_env.get(name).copied().or(pre);
                     let e = els_env.get(name).copied().or(pre);
                     let (t, e) = match (t, e) {
                         (Some(t), Some(e)) => (t, e),
-                        // defined in only one branch and nowhere before:
-                        // reading it after the if is UB; skip the φ
+                        // declared in only one branch and nowhere before:
+                        // reading it after the if is out of scope; skip the φ
                         _ => continue,
                     };
                     if self.eg.find(t) == self.eg.find(e) {

@@ -1,0 +1,141 @@
+//! Integration tests for `accsat fuzz`: campaign determinism, the greedy
+//! minimizer, and regression pins for the miscompiles the first fuzzing
+//! campaign surfaced (stale loads licensed by a missing conditional-store
+//! φ in `accsat_ssa::builder`).
+
+use accsat::fuzz::{check_kernel, minimize_function, run_campaign, run_case, FuzzConfig};
+use accsat::interp::{ArrayData, Env};
+use accsat::ir::{parse_program, Function};
+use std::path::Path;
+
+/// Deterministic inputs for a parsed kernel: every array cell and scalar
+/// parameter gets a positive, index-dependent value away from zero (the
+/// generated kernels divide, so inputs must stay off the axis).
+fn env_for(f: &Function) -> Env {
+    let mut env = Env::new();
+    for (p, param) in f.params.iter().enumerate() {
+        if param.is_array() {
+            let data: Vec<f64> =
+                (0..param.len()).map(|i| 0.5 + ((p * 31 + i * 7) % 100) as f64 / 50.0).collect();
+            env.set_array(&param.name, ArrayData::from_f64(&param.dims, data));
+        } else {
+            env.set_f64(&param.name, 0.5 + (p % 5) as f64 / 2.0);
+        }
+    }
+    env
+}
+
+/// The ISSUE's acceptance bar: a 200-case seed-7 campaign renders the same
+/// summary and JSON bytes on 1 worker and on 8, and finds nothing.
+#[test]
+fn campaign_seed7_is_byte_identical_across_threads() {
+    let mut fc = FuzzConfig { cases: 200, seed: 7, threads: 1, ..FuzzConfig::default() };
+    let single = run_campaign(&fc);
+    fc.threads = 8;
+    let pooled = run_campaign(&fc);
+    assert_eq!(single.render_summary(), pooled.render_summary());
+    assert_eq!(single.to_stable_json(), pooled.to_stable_json());
+    assert_eq!(single.passed, 200, "campaign must be clean: {}", single.render_summary());
+    assert!(single.failures.is_empty());
+}
+
+/// Drop every `if` statement — a deliberately broken "optimizer" whose
+/// miscompile the minimizer has to chase.
+fn strip_ifs(b: &mut accsat::ir::Block) {
+    b.stmts.retain(|s| !matches!(s, accsat::ir::Stmt::If { .. }));
+    for s in &mut b.stmts {
+        match s {
+            accsat::ir::Stmt::For(l) => strip_ifs(&mut l.body),
+            accsat::ir::Stmt::While { body, .. } => strip_ifs(body),
+            accsat::ir::Stmt::Block(inner) => strip_ifs(inner),
+            _ => {}
+        }
+    }
+}
+
+/// The minimizer must shrink an injected synthetic miscompile: running a
+/// kernel against its `strip_ifs` "optimization" diverges exactly when a
+/// conditional still matters, so the shrunk repro keeps the `if` plus one
+/// observable store and drops everything else.
+#[test]
+fn minimizer_shrinks_injected_differential() {
+    let src = r#"
+void fz(double a[32], double b[32], double out[32], double c0) {
+  #pragma acc parallel loop gang vector
+  for (int i = 2; i < 30; i++) {
+    double s = a[i] + b[i];
+    double t = a[i - 1] * c0;
+    if (c0) {
+      out[i] = s / (t + 1.0);
+    } else {
+      out[i] = s - t;
+    }
+    out[i] += a[i + 1];
+    b[i] = out[i] * 0.5;
+  }
+}
+"#;
+    let prog = parse_program(src).unwrap();
+    let f = &prog.functions[0];
+    let env0 = env_for(f);
+    let fuel = FuzzConfig::default().fuel;
+    let reproduces = |cand: &Function| {
+        let mut broken = cand.clone();
+        strip_ifs(&mut broken.body);
+        let (mut e1, mut e2) = (env0.clone(), env0.clone());
+        if accsat::interp::try_run_function(cand, &mut e1, fuel).is_err() {
+            return false;
+        }
+        if accsat::interp::try_run_function(&broken, &mut e2, fuel).is_err() {
+            return false;
+        }
+        accsat::interp::compare_arrays_with(&e1, &e2, 1e-9, 1e-9).is_some()
+    };
+    assert!(reproduces(f), "the injected bug must reproduce on the full kernel");
+    let before = f.body.stmt_count();
+    let (shrunk, attempts) = minimize_function(f, &reproduces, 300);
+    let after = shrunk.body.stmt_count();
+    assert!(reproduces(&shrunk), "shrinking must preserve the failure");
+    assert!(after < before, "minimizer must shrink: {before} -> {after} in {attempts} attempts");
+    assert!(after <= 4, "an `if` with one observable store suffices, got {after} statements");
+}
+
+/// Campaign seed 7, cases 4, 26, 120 and 188 miscompiled before the
+/// conditional-store φ fix: a store under `if` to an array whose state had
+/// never been read left no φ behind, so later loads aliased the pre-store
+/// state and CSE/bulk-load reused (or hoisted) them across the store.
+/// These exact cases must stay clean forever.
+#[test]
+fn regression_seed7_previously_failing_cases() {
+    let fc = FuzzConfig::default();
+    for index in [4u64, 26, 120, 188] {
+        let outcome = run_case(index, &fc);
+        assert!(outcome.skipped.is_none(), "case {index} skipped: {:?}", outcome.skipped);
+        assert!(outcome.findings.is_empty(), "case {index} regressed: {:?}", outcome.findings);
+    }
+}
+
+/// The minimized repros from the same campaign, checked in under
+/// `tests/corpus/`, re-verified through every oracle and variant.
+#[test]
+fn regression_minimized_corpus_repros() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let fc = FuzzConfig::default();
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|s| s.to_str()) != Some("sat") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let prog = parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let f = &prog.functions[0];
+        let env0 = env_for(f);
+        let findings = check_kernel(f, &env0, &fc, None)
+            .unwrap_or_else(|e| panic!("{}: original run failed: {e}", path.display()));
+        assert!(findings.is_empty(), "{} regressed: {findings:?}", path.display());
+        checked += 1;
+    }
+    assert_eq!(checked, 4, "all four corpus repros must be present and checked");
+}

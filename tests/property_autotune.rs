@@ -9,65 +9,32 @@
 
 use accsat::autotune::TuneConfig;
 use accsat::batch::{tune_suite, ParallelConfig};
-use accsat::{tune_function, SaturatorConfig, Variant};
+use accsat::fuzz::check_seeded;
+use accsat::{tune_function, FuzzConfig, SaturatorConfig, Variant};
+use accsat_benchmarks::genkern::{two_statement_kernel, StencilExpr, STENCIL_LEAVES};
 use accsat_egraph::RunnerLimits;
 use accsat_ir::parse_program;
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::time::Duration;
 
-/// A random stencil-flavored expression over the kernel's loads and
-/// scalar parameters.
-#[derive(Debug, Clone)]
-enum E {
-    Leaf(usize),
-    Add(Box<E>, Box<E>),
-    Sub(Box<E>, Box<E>),
-    Mul(Box<E>, Box<E>),
-    Div(Box<E>, Box<E>),
-}
-
-/// The leaves: halo loads, a second array, and scalar parameters —
-/// enough variety for extraction candidates to differ in sharing.
-const LEAVES: &[&str] = &["a[i - 1]", "a[i]", "a[i + 1]", "b[i]", "c0", "c1", "2.0"];
-
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = (0usize..LEAVES.len()).prop_map(E::Leaf);
+/// The two-statement stencil shape lives in `accsat_benchmarks::genkern`
+/// (shared with the `accsat fuzz` generator); the tests here only supply
+/// the proptest strategy over it.
+fn expr_strategy() -> impl Strategy<Value = StencilExpr> {
+    let leaf = (0usize..STENCIL_LEAVES.len()).prop_map(StencilExpr::Leaf);
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| StencilExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| StencilExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| StencilExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| StencilExpr::Div(Box::new(a), Box::new(b))),
         ]
     })
-}
-
-fn render(e: &E) -> String {
-    match e {
-        E::Leaf(i) => LEAVES[*i].to_string(),
-        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
-        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
-        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
-        E::Div(a, b) => format!("({} / {})", render(a), render(b)),
-    }
-}
-
-/// Wrap two random expressions into a parallel-loop kernel. Both
-/// statements see the same loads, so sharing across statements is where
-/// greedy and branch-and-bound candidates genuinely differ.
-fn kernel_source(e1: &E, e2: &E) -> String {
-    format!(
-        "void k(double a[64], double b[64], double out[64], double c0, double c1) {{\n\
-         #pragma acc parallel loop gang vector\n\
-         for (int i = 1; i < 63; i++) {{\n\
-         out[i] = {};\n\
-         b[i] = {};\n\
-         }}\n\
-         }}\n",
-        render(e1),
-        render(e2)
-    )
 }
 
 /// Small, fully deterministic limits so debug-build property runs stay
@@ -90,7 +57,7 @@ proptest! {
     /// static winner really is the static-cost argmin.
     #[test]
     fn winner_minimizes_simulated_cycles(e1 in expr_strategy(), e2 in expr_strategy()) {
-        let src = kernel_source(&e1, &e2);
+        let src = two_statement_kernel(&e1, &e2);
         let prog = parse_program(&src).unwrap();
         let (_, stats) = tune_function(
             &prog.functions[0],
@@ -131,7 +98,7 @@ proptest! {
     /// whether candidates are simulated sequentially or on 8 workers.
     #[test]
     fn tuning_is_thread_count_invariant(e1 in expr_strategy(), e2 in expr_strategy()) {
-        let src = kernel_source(&e1, &e2);
+        let src = two_statement_kernel(&e1, &e2);
         let prog = parse_program(&src).unwrap();
         let cfg = fast_config();
         let run = |threads: usize| {
@@ -156,6 +123,37 @@ proptest! {
                 prop_assert!(a.content_hash == b.content_hash);
             }
         }
+    }
+}
+
+/// Case seeds of campaign seed 7 that miscompiled before the
+/// conditional-store φ fix in `accsat_ssa::builder` (cases 4, 26, 120,
+/// 188) — pinned so every property run re-checks them alongside fresh
+/// random seeds.
+fn fuzz_seed_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0xb4a0472e578069ae_u64),
+        Just(0x373decca84a1ebd4_u64),
+        Just(0x8bf61c3e4e43959c_u64),
+        Just(0x87232a5b0144f7bb_u64),
+        1u64..u64::MAX,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every generated kernel must clear all fuzz oracles — the
+    /// interpreter differential across the four variants plus the
+    /// structural extraction invariants — on the regression seeds and on
+    /// arbitrary ones.
+    #[test]
+    fn fuzz_oracles_hold_on_seeded_kernels(seed in fuzz_seed_strategy()) {
+        let outcome = check_seeded(0, seed, &FuzzConfig::default());
+        prop_assert!(outcome.skipped.is_none(),
+            "seed {seed:#018x} skipped: {:?}", outcome.skipped);
+        prop_assert!(outcome.findings.is_empty(),
+            "seed {seed:#018x} failed: {:?}", outcome.findings);
     }
 }
 
