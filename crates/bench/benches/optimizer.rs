@@ -86,5 +86,44 @@ fn bench_matcher_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_phases, bench_matcher_engines);
+fn bench_saturation_threads(c: &mut Criterion) {
+    // scaling of the parallel rule search inside one saturation run, on
+    // the NPB-BT z_solve shape. Output is byte-identical at every width
+    // (asserted by tests/property_saturation.rs and
+    // tests/sat_threads_identity.rs); this group measures the wall-clock
+    // side of that contract. On a single-core container the widths tie —
+    // record whatever the host shows honestly in EXPERIMENTS.md.
+    let bt = accsat_benchmarks::npb_benchmarks().remove(0);
+    let prog = parse_program(&bt.acc_source).unwrap();
+    let f = &prog.functions[0];
+    let body = accsat_ir::innermost_parallel_loops(f)[0].body.clone();
+    let limits = RunnerLimits { iter_limit: 4, ..Default::default() };
+
+    let kernel = accsat_ssa::build_kernel(&body);
+
+    let mut group = c.benchmark_group("saturation_threads_bt_zsolve");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let mut eg = kernel.egraph.clone();
+                let report = accsat_egraph::Runner::new(accsat_egraph::all_rules())
+                    .with_limits(limits)
+                    .with_sat_threads(threads)
+                    .run(&mut eg);
+                assert!(!report.iterations.is_empty());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_phases,
+    bench_matcher_engines,
+    bench_saturation_threads
+);
 criterion_main!(benches);

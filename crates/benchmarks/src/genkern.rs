@@ -6,8 +6,12 @@
 //! multi-statement loop nests, φ-inducing conditionals (`if`/`else` over
 //! initialized locals), sequential inner accumulation loops (loop φs, with
 //! optional stores so array states thread through `PhiLoop`), 2-D nests
-//! whose halo loads are bulk-load-eligible, and SPEC-ACCEL-shaped mixes of
-//! math calls, ternaries, casts and compound assignments.
+//! whose halo loads are bulk-load-eligible, SPEC-ACCEL-shaped mixes of
+//! math calls, ternaries, casts and compound assignments, conditionals
+//! whose branch conditions compare array loads (including the mutable
+//! arrays, so condition loads must stay coherent with stores), and bounded
+//! `while` loops (opaque to SSA — every name they modify is havocked, so
+//! nothing may be CSE'd or hoisted across them).
 //!
 //! Everything is driven by a [`SplitMix64`] stream, so one `u64` seed fully
 //! determines a kernel: the fuzz driver derives per-case seeds from the
@@ -108,7 +112,7 @@ pub struct GeneratedKernel {
     /// The seed that produced this kernel (and names it).
     pub seed: u64,
     /// Which generator flavor produced it (`stencil1d`, `phi_if`,
-    /// `seq_loop`, `twod`, `spec_mix`).
+    /// `seq_loop`, `twod`, `spec_mix`, `arr_cond`, `while_loop`).
     pub flavor: &'static str,
     /// Full C translation unit: one `void fz(...)` function with an
     /// OpenACC parallel loop.
@@ -164,6 +168,10 @@ struct Gen {
     /// Has `t` been stored to yet? (Reads before the first store see the
     /// pristine positive data; after it, only clamped values.)
     wrote_t: bool,
+    /// Bias `condition()` toward array-load comparisons (the `arr_cond`
+    /// flavor): both sides become loads, including from the mutable
+    /// arrays, so condition loads must stay coherent with stores.
+    array_conds: bool,
     /// Counter for fresh local names.
     fresh: usize,
     body: String,
@@ -308,10 +316,30 @@ impl Gen {
         }
     }
 
+    /// Any readable array, pristine or mutable.
+    fn any_array(&mut self) -> &'static str {
+        match self.rng.below(5) {
+            0..=2 => PRISTINE[self.rng.below(PRISTINE.len() as u64) as usize],
+            3 => "t",
+            _ => "out",
+        }
+    }
+
     /// An atomic condition: two leaves compared — saturation never rewrites
     /// across a comparison, so both the original and the optimized kernel
     /// branch identically.
     fn condition(&mut self) -> String {
+        if self.array_conds && self.rng.chance(60) {
+            // both sides array loads, mutable arrays included: the
+            // condition's loads must observe every store before it, and
+            // CSE must not reuse them across stores after it
+            let la = self.any_array();
+            let lhs = self.load(la);
+            let ra = self.any_array();
+            let rhs = self.load(ra);
+            let op = CMP_OPS[self.rng.below(CMP_OPS.len() as u64) as usize];
+            return format!("{lhs} {op} {rhs}");
+        }
         let lhs = self.leaf();
         let rhs = if self.rng.chance(50) {
             self.leaf()
@@ -533,6 +561,30 @@ impl Gen {
         // acc stays in scope as a readable local
     }
 
+    /// Emit a bounded `while` loop: `int w = 0; while (w < K) { …; w = w +
+    /// 1; }`. SSA treats the whole `while` as opaque and havocs every name
+    /// it modifies, so loads cached before the loop must be invalidated
+    /// and nothing may be hoisted across it — the statements inside are
+    /// emitted verbatim, never rewritten.
+    fn while_stmt(&mut self) {
+        let w = self.fresh_name("w");
+        let k = 2 + self.rng.below(3); // 2..=4 iterations
+        self.line(&format!("int {w} = 0;"));
+        self.line(&format!("while ({w} < {k}) {{"));
+        self.indent += 1;
+        let n = 1 + self.rng.below(2);
+        for _ in 0..n {
+            match self.rng.below(4) {
+                0 => self.store_t(),
+                1 if !self.locals.is_empty() => self.assign_local(),
+                _ => self.store_out(),
+            }
+        }
+        self.line(&format!("{w} = {w} + 1;"));
+        self.indent -= 1;
+        self.line("}");
+    }
+
     /// One top-level kernel statement, flavor-weighted.
     fn toplevel_stmt(&mut self, weights: &[(u64, StmtKind)]) {
         let total: u64 = weights.iter().map(|(w, _)| w).sum();
@@ -547,6 +599,7 @@ impl Gen {
                     StmtKind::DeclIdx => self.decl_idx_local(),
                     StmtKind::If => self.if_stmt(1),
                     StmtKind::SeqLoop => self.seq_loop(),
+                    StmtKind::While => self.while_stmt(),
                 }
                 return;
             }
@@ -564,6 +617,7 @@ enum StmtKind {
     DeclIdx,
     If,
     SeqLoop,
+    While,
 }
 
 /// Render `base + off` / `base - off` / `base` as a C index expression.
@@ -579,7 +633,7 @@ fn offset_index(base: &str, off: i64) -> String {
 /// same kernel, byte for byte.
 pub fn generate_kernel(seed: u64, cfg: &GenConfig) -> GeneratedKernel {
     let mut rng = SplitMix64::new(seed);
-    let flavor_pick = rng.below(5);
+    let flavor_pick = rng.below(7);
     let dims = if flavor_pick == 3 { Dims::Two } else { Dims::One };
     let mut g = Gen {
         rng,
@@ -589,6 +643,7 @@ pub fn generate_kernel(seed: u64, cfg: &GenConfig) -> GeneratedKernel {
         idx_locals: Vec::new(),
         seq_vars: Vec::new(),
         wrote_t: false,
+        array_conds: flavor_pick == 5,
         fresh: 0,
         body: String::new(),
         indent: 2,
@@ -602,7 +657,7 @@ pub fn generate_kernel(seed: u64, cfg: &GenConfig) -> GeneratedKernel {
         }
         2 => ("seq_loop", vec![(2, StoreOut), (1, StoreT), (1, DeclLocal), (3, SeqLoop)]),
         3 => ("twod", vec![(4, StoreOut), (2, StoreT), (2, DeclLocal), (1, If)]),
-        _ => (
+        4 => (
             "spec_mix",
             vec![
                 (3, StoreOut),
@@ -612,7 +667,18 @@ pub fn generate_kernel(seed: u64, cfg: &GenConfig) -> GeneratedKernel {
                 (2, DeclIdx),
                 (1, If),
                 (1, SeqLoop),
+                (1, While),
             ],
+        ),
+        5 => (
+            // conditions biased toward array-load comparisons (see
+            // `Gen::array_conds`)
+            "arr_cond",
+            vec![(2, StoreOut), (1, StoreT), (2, DeclLocal), (2, AssignLocal), (4, If)],
+        ),
+        _ => (
+            "while_loop",
+            vec![(3, StoreOut), (1, StoreT), (2, DeclLocal), (1, AssignLocal), (3, While)],
         ),
     };
 
@@ -758,7 +824,7 @@ mod tests {
             assert_eq!(p1, p2, "seed {seed}: printer round-trip changed the AST");
             assert!(gk.source.contains("out"), "every kernel stores to out");
         }
-        assert_eq!(flavors.len(), 5, "200 seeds must cover all five flavors: {flavors:?}");
+        assert_eq!(flavors.len(), 7, "200 seeds must cover all seven flavors: {flavors:?}");
     }
 
     #[test]

@@ -599,7 +599,19 @@ impl<'a> Emitter<'a> {
                     self.bind_phi(name, *phi);
                 }
             }
-            SsaNode::Opaque(s) => out.push(s.clone()),
+            SsaNode::Opaque { stmt, havocs } => {
+                // the statement may overwrite these names out of the
+                // e-graph's sight: capture any live value still flowing
+                // through them, emit verbatim, then rebind each name to
+                // its havoc class — loads of the old array states are no
+                // longer current, so nothing is reused or hoisted across
+                let assigned: Vec<String> = havocs.iter().map(|(n, _)| n.clone()).collect();
+                self.capture_endangered(&assigned, out);
+                out.push(stmt.clone());
+                for (name, havoc) in havocs {
+                    self.bind_phi(name, *havoc);
+                }
+            }
         }
     }
 

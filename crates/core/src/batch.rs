@@ -9,6 +9,24 @@
 //! one `Arc` ([`SaturatorConfig::rules`]) shared by every worker — rules
 //! are compiled once per batch, not once per kernel.
 //!
+//! # The two-level pool
+//!
+//! Whole kernels are only the first level of schedulable work. Inside a
+//! kernel, the saturation runner's parallel rule search
+//! ([`accsat_egraph::Runner::sat_threads`]) and the extraction
+//! portfolio's racing strategies are fan-outs of their own, and all of
+//! them draw threads from one shared [`accsat_egraph::ThreadBudget`]:
+//! the batch starts `min(threads, items)` workers and banks the rest as
+//! spare permits; a worker that runs out of whole kernels retires its
+//! own permit into the budget. In-flight kernels lease those permits for
+//! the duration of each internal fan-out, so the tail of a suite — the
+//! few heaviest kernels (BT `z_solve`, LU `jacld`, MG `resid`) — widens
+//! onto the retired workers' cores instead of leaving them idle. Leases
+//! never block and never drop below the leasing thread itself, so the
+//! scheme cannot deadlock, and every fan-out's result is
+//! thread-count-invariant by construction (see the determinism notes
+//! below and in [`accsat_egraph::pool`]).
+//!
 //! # Determinism
 //!
 //! A batch run's report depends only on the inputs and the configuration,
@@ -26,9 +44,10 @@
 use crate::pipeline::{optimize_function, tune_function, OptStats, SaturatorConfig, Variant};
 use accsat_autotune::TuneConfig;
 use accsat_benchmarks::Benchmark;
+use accsat_egraph::ThreadBudget;
 use accsat_ir::{parse_program, print_program, Program};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Thread-pool configuration for a batch run.
@@ -52,11 +71,12 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> ParallelConfig {
-        // each in-flight kernel also races a 2-wide extraction portfolio
-        // (`SaturatorConfig::extraction_threads`), so sizing the pool at
-        // half the cores keeps the default batch from oversubscribing
+        // one thread per core: kernel-internal fan-outs (rule search,
+        // portfolio race) lease spare permits from the shared budget
+        // instead of spawning unconditionally, so a full-width pool can
+        // no longer oversubscribe the machine
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ParallelConfig { threads: cores.div_ceil(2), kernel_deadline: None, shard: None }
+        ParallelConfig { threads: cores, kernel_deadline: None, shard: None }
     }
 }
 
@@ -389,7 +409,7 @@ fn run_suite(
     tune: Option<&TuneConfig>,
 ) -> Result<BatchReport, String> {
     let t0 = Instant::now();
-    let cfg = kernel_config(config, par.kernel_deadline);
+    let mut cfg = kernel_config(config, par.kernel_deadline);
     if let Some((i, n)) = par.shard {
         if n == 0 || i >= n {
             return Err(format!("invalid shard {i}/{n}: need 0 <= i < n"));
@@ -422,9 +442,21 @@ fn run_suite(
     let next = AtomicUsize::new(0);
     let workers = par.threads.clamp(1, items.len().max(1));
 
+    // second scheduling level: the thread permits not consumed by the
+    // worker pool seed the shared budget, and every worker returns its
+    // own permit when the kernel queue runs dry. Kernel-internal
+    // fan-outs (rule search, portfolio race) lease from here.
+    let budget = Arc::new(ThreadBudget::new(par.threads.saturating_sub(workers)));
+    cfg.thread_budget = Some(Arc::clone(&budget));
+
     let drain = || loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
-        let Some(&(bi, fi)) = items.get(i) else { break };
+        let Some(&(bi, fi)) = items.get(i) else {
+            // this worker retires into the budget: in-flight kernels can
+            // now widen their internal fan-outs onto its core
+            budget.release(1);
+            break;
+        };
         let f = &programs[bi].functions[fi];
         let t = Instant::now();
         let r = match tune {
@@ -563,6 +595,33 @@ mod tests {
             let ca: Vec<u64> = a.kernel_stats().map(|s| s.extracted_cost).collect();
             let cb: Vec<u64> = b.kernel_stats().map(|s| s.extracted_cost).collect();
             assert_eq!(ca, cb, "{}: per-kernel costs must match", a.benchmark);
+        }
+    }
+
+    #[test]
+    fn sat_threads_and_budget_preserve_bytes() {
+        // the full two-level pool — wide worker pool, parallel rule
+        // search, budget-leased portfolio — against the one-thread,
+        // serial-search baseline: stable output must not move a byte
+        let suite = mini_suite();
+        let base = optimize_suite(
+            &suite,
+            Variant::AccSat,
+            &fast_config(),
+            &ParallelConfig { threads: 1, kernel_deadline: None, shard: None },
+        )
+        .unwrap();
+        let cfg8 = SaturatorConfig { sat_threads: 8, ..fast_config() };
+        let wide = optimize_suite(
+            &suite,
+            Variant::AccSat,
+            &cfg8,
+            &ParallelConfig { threads: 8, kernel_deadline: None, shard: None },
+        )
+        .unwrap();
+        assert_eq!(base.to_stable_json(), wide.to_stable_json());
+        for (a, b) in base.benchmarks.iter().zip(&wide.benchmarks) {
+            assert_eq!(a.optimized_source, b.optimized_source, "{}", a.benchmark);
         }
     }
 

@@ -8,28 +8,35 @@
 //!
 //! Usage:
 //! ```text
-//! accsat [--variant cse|cse+sat|cse+bulk|accsat] [-o OUT.c] INPUT.c
+//! accsat [--variant cse|cse+sat|cse+bulk|accsat] [--sat-threads N]
+//!        [-o OUT.c] INPUT.c
 //! accsat --stats INPUT.c            # print per-kernel optimizer stats
-//! accsat batch [--suite npb|spec|all] [--threads N] [--variant V]
-//!              [--deadline-ms D] [--extract-budget NODES] [--json OUT.json]
-//!              [--shard I/N] [--tune]
+//! accsat batch [--suite npb|spec|all] [--threads N] [--sat-threads N]
+//!              [--variant V] [--deadline-ms D] [--extract-budget NODES]
+//!              [--json OUT.json] [--shard I/N] [--tune]
 //!              # full pipeline over a whole benchmark suite, in parallel
-//! accsat tune  [--suite npb|spec|all] [--threads N] [--device pcie|sxm]
-//!              [--compiler nvhpc|gcc] [--sweep H1,H2,…] [--keep K]
-//!              [--shard I/N] [--json OUT.json]
+//! accsat tune  [--suite npb|spec|all] [--threads N] [--sat-threads N]
+//!              [--device pcie|sxm] [--compiler nvhpc|gcc] [--sweep H1,H2,…]
+//!              [--keep K] [--shard I/N] [--json OUT.json]
 //!              # simulation-guided autotuning: pick each kernel's code by
 //!              # simulated cycles over a harvested candidate set; output
 //!              # is byte-identical at any thread count
-//! accsat fuzz  [--cases N] [--seed S] [--threads T] [--json OUT.json]
-//!              [--corpus DIR]
+//! accsat fuzz  [--cases N] [--seed S] [--threads T] [--sat-threads N]
+//!              [--json OUT.json] [--corpus DIR]
 //!              # differential kernel fuzzing: random kernels through every
 //!              # variant, interpreter-checked against the original; fails
 //!              # on any divergence and writes minimized repros to --corpus
 //! ```
+//!
+//! `--sat-threads` controls the *parallel rule search inside saturation*
+//! (distinct from `--threads`, the worker pool over kernels or fuzz
+//! cases). All output is byte-identical at any `--sat-threads` value; in
+//! `batch`/`tune` it defaults to `--threads` so idle workers widen into
+//! the heavy kernels, elsewhere it defaults to 1.
 
 use accsat::batch::{optimize_suite, tune_suite, ParallelConfig};
 use accsat::fuzz::{run_campaign, FuzzConfig};
-use accsat::{optimize_program, SaturatorConfig, Variant};
+use accsat::{optimize_program_with, SaturatorConfig, Variant};
 use accsat_autotune::TuneConfig;
 use accsat_compilers::{Compiler, CompilerModel};
 use accsat_gpusim::Device;
@@ -39,15 +46,16 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: accsat [--variant cse|cse+sat|cse+bulk|accsat] [--stats] [-o OUT.c] INPUT.c\n\
-                accsat batch [--suite npb|spec|all] [--threads N] [--variant V]\n\
-         \x20            [--deadline-ms D] [--extract-budget NODES] [--json OUT.json]\n\
-         \x20            [--shard I/N] [--tune]\n\
-                accsat tune [--suite npb|spec|all] [--threads N] [--device pcie|sxm]\n\
-         \x20            [--compiler nvhpc|gcc] [--sweep H1,H2,...] [--keep K]\n\
-         \x20            [--shard I/N] [--json OUT.json]\n\
-                accsat fuzz [--cases N] [--seed S] [--threads T] [--json OUT.json]\n\
-         \x20            [--corpus DIR]"
+        "usage: accsat [--variant cse|cse+sat|cse+bulk|accsat] [--sat-threads N] [--stats]\n\
+         \x20            [-o OUT.c] INPUT.c\n\
+                accsat batch [--suite npb|spec|all] [--threads N] [--sat-threads N]\n\
+         \x20            [--variant V] [--deadline-ms D] [--extract-budget NODES]\n\
+         \x20            [--json OUT.json] [--shard I/N] [--tune]\n\
+                accsat tune [--suite npb|spec|all] [--threads N] [--sat-threads N]\n\
+         \x20            [--device pcie|sxm] [--compiler nvhpc|gcc] [--sweep H1,H2,...]\n\
+         \x20            [--keep K] [--shard I/N] [--json OUT.json]\n\
+                accsat fuzz [--cases N] [--seed S] [--threads T] [--sat-threads N]\n\
+         \x20            [--json OUT.json] [--corpus DIR]"
     );
     ExitCode::from(2)
 }
@@ -79,6 +87,7 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
     let mut par = ParallelConfig::default();
     let mut json: Option<String> = None;
     let mut extract_budget: Option<u64> = None;
+    let mut sat_threads: Option<usize> = None;
     let mut tcfg = TuneConfig::default();
     // tuner-only flags seen while parsing: a plain batch must reject
     // them instead of silently ignoring the user's tuning intent
@@ -119,6 +128,13 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
                 Some(n) if n > 0 => extract_budget = Some(n),
                 _ => {
                     eprintln!("--extract-budget needs a positive node count");
+                    return usage();
+                }
+            },
+            "--sat-threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => sat_threads = Some(n),
+                _ => {
+                    eprintln!("--sat-threads needs a positive integer");
                     return usage();
                 }
             },
@@ -212,6 +228,10 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
     if let Some(n) = extract_budget {
         config.extraction_node_budget = n;
     }
+    // rule search defaults to the pool width: the two-level budget only
+    // grants extra threads when workers are idle, and the output is
+    // byte-identical at any width either way
+    config.sat_threads = sat_threads.unwrap_or(par.threads);
     let report = if tune_mode {
         tune_suite(&benches, variant, &config, &tcfg, &par)
     } else {
@@ -308,6 +328,13 @@ fn fuzz_main(args: Vec<String>) -> ExitCode {
                     return usage();
                 }
             },
+            "--sat-threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => fc.saturator.sat_threads = n,
+                _ => {
+                    eprintln!("--sat-threads needs a positive integer");
+                    return usage();
+                }
+            },
             "--json" => match it.next() {
                 Some(path) => json = Some(path),
                 None => {
@@ -379,6 +406,7 @@ fn main() -> ExitCode {
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
     let mut stats = false;
+    let mut config = SaturatorConfig::default();
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -390,6 +418,13 @@ fn main() -> ExitCode {
                 };
                 variant = v;
             }
+            "--sat-threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.sat_threads = n,
+                _ => {
+                    eprintln!("--sat-threads needs a positive integer");
+                    return usage();
+                }
+            },
             "--stats" => stats = true,
             "-o" => output = it.next(),
             "-h" | "--help" => return usage(),
@@ -416,7 +451,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (optimized, kernel_stats) = match optimize_program(&prog, variant) {
+    let (optimized, kernel_stats) = match optimize_program_with(&prog, variant, &config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("accsat: optimization failed: {e}");

@@ -50,7 +50,8 @@ pub use fuzz::{
     FuzzConfig, FuzzReport,
 };
 pub use pipeline::{
-    optimize_function, optimize_program, tune_function, OptStats, SaturatorConfig, Variant,
+    optimize_function, optimize_program, optimize_program_with, tune_function, OptStats,
+    SaturatorConfig, Variant,
 };
 pub use report::{format_speedup_row, render_table};
 

@@ -3,8 +3,10 @@
 
 use accsat_autotune::{tune_kernel, KernelTuning, TuneConfig};
 use accsat_codegen::{generate, CodegenOptions, TypeMap};
-use accsat_egraph::{all_rules, Rewrite, RuleStats, Runner, RunnerLimits, StopReason};
-use accsat_extract::{extract_portfolio, CostModel, PortfolioConfig};
+use accsat_egraph::{
+    all_rules, Rewrite, RuleStats, Runner, RunnerLimits, StopReason, ThreadBudget,
+};
+use accsat_extract::{extract_portfolio_budgeted, CostModel, PortfolioConfig};
 use accsat_ir::{Block, Function, Program, Stmt};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -76,6 +78,16 @@ pub struct SaturatorConfig {
     /// Compiled rewrite rules. Shared (`Arc`) so batch drivers compile the
     /// rule set once per process instead of once per kernel.
     pub rules: Arc<Vec<Rewrite>>,
+    /// Width of the saturation runner's parallel rule search. `1` (the
+    /// default) searches on the calling thread; higher values fan the
+    /// per-iteration rule searches out over scoped threads. Output is
+    /// byte-identical at any value.
+    pub sat_threads: usize,
+    /// Shared thread budget of the two-level batch pool. When set, the
+    /// saturation search and the extraction portfolio lease their extra
+    /// threads from here instead of spawning unconditionally; `None`
+    /// (standalone runs) spawns up to the configured widths outright.
+    pub thread_budget: Option<Arc<ThreadBudget>>,
 }
 
 impl Default for SaturatorConfig {
@@ -91,6 +103,8 @@ impl Default for SaturatorConfig {
             extraction_node_budget: 60_000,
             cost_model: CostModel::paper(),
             rules: Arc::new(all_rules()),
+            sat_threads: 1,
+            thread_budget: None,
         }
     }
 }
@@ -224,7 +238,9 @@ fn tune_kernel_body(
     let t2 = Instant::now();
     let copts = CodegenOptions { bulk_load: variant.bulk_loads() };
     // harvest at full portfolio width: every strategy's selection is a
-    // candidate, regardless of how narrow the static extraction races
+    // candidate, regardless of how narrow the static extraction races.
+    // The tune path keeps its own unbudgeted fan-out: the tuner's
+    // lower-and-simulate stage dominates its wall time, not the race.
     let mut pcfg = portfolio_config(config);
     pcfg.threads = pcfg.threads.max(accsat_extract::STRATEGY_COUNT);
     let tuned = tune_kernel(
@@ -317,7 +333,10 @@ fn saturate_body(body: &Block, variant: Variant, config: &SaturatorConfig) -> Sa
     // 2. equality saturation (step ②)
     let t1 = Instant::now();
     let (iters, stop, rule_stats) = if variant.saturates() {
-        let runner = Runner::from_shared(config.rules.clone()).with_limits(config.limits);
+        let runner = Runner::from_shared(config.rules.clone())
+            .with_limits(config.limits)
+            .with_sat_threads(config.sat_threads)
+            .with_budget(config.thread_budget.clone());
         let report = runner.run(&mut kernel.egraph);
         (report.iterations.len(), Some(report.stop_reason), report.rule_stats)
     } else {
@@ -354,7 +373,13 @@ pub fn optimize_kernel_body(
     let roots = kernel.extraction_roots();
     let cm = config.cost_model;
     let portfolio_cfg = portfolio_config(config);
-    let extraction = extract_portfolio(&kernel.egraph, &roots, &cm, &portfolio_cfg);
+    let extraction = extract_portfolio_budgeted(
+        &kernel.egraph,
+        &roots,
+        &cm,
+        &portfolio_cfg,
+        config.thread_budget.as_deref(),
+    );
     let cost = extraction.cost;
     let extract_time = t2.elapsed();
     let selection = extraction.selection;

@@ -33,6 +33,7 @@ pub mod fxhash;
 pub mod machine;
 pub mod node;
 pub mod pattern;
+pub mod pool;
 pub mod rewrite;
 pub mod rules;
 pub mod runner;
@@ -44,6 +45,7 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use machine::{Inst, Program, RhsNode, VarSubst};
 pub use node::{Id, Node, Op};
 pub use pattern::{parse_pattern, Pattern, PatternNode, Subst};
+pub use pool::{Lease, ThreadBudget};
 pub use rewrite::{Rewrite, RuleMatch};
 pub use rules::{all_rules, assoc_rules, comm_rules, fma_rules, reorder_rules, rule_by_name};
 pub use runner::{
@@ -62,4 +64,5 @@ const _: () = {
     assert_send_sync::<Rewrite>();
     assert_send_sync::<Runner>();
     assert_send_sync::<RunnerReport>();
+    assert_send_sync::<ThreadBudget>();
 };

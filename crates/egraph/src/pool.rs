@@ -1,0 +1,153 @@
+//! A shared lease pool for worker threads: the arbitration layer of the
+//! two-level batch scheduler.
+//!
+//! The batch driver (`accsat::batch`) hands whole kernels to a fixed set
+//! of workers. Inside a kernel, two more fan-outs want threads of their
+//! own: the saturation runner's parallel rule search
+//! ([`crate::Runner::sat_threads`]) and the extraction portfolio's racing
+//! branch-and-bound strategies. Spawning those unconditionally would
+//! oversubscribe the machine (every in-flight kernel multiplying the
+//! worker count), so a batch shares one [`ThreadBudget`]: a counted pool
+//! of *spare* thread permits. A kernel-internal fan-out leases as many
+//! permits as are free at that moment — never blocking, never below its
+//! own calling thread — and returns them when the fan-out joins. When a
+//! batch worker runs out of whole kernels it retires its own permit into
+//! the budget, so the tail of a suite (the few heaviest kernels) widens
+//! automatically instead of leaving the retired workers' cores idle.
+//!
+//! # Determinism
+//!
+//! Leasing only ever changes *how many threads* execute a fan-out whose
+//! result is thread-count-invariant by construction (pre-allocated result
+//! slots indexed by task, winners picked after a full join). The budget
+//! therefore affects wall clock only; outputs are byte-identical whether
+//! a fan-out ran on one thread or eight.
+
+use std::sync::Mutex;
+
+/// A counted pool of spare worker-thread permits shared by one batch run.
+#[derive(Debug)]
+pub struct ThreadBudget {
+    spare: Mutex<usize>,
+}
+
+impl ThreadBudget {
+    /// New budget with `spare` free permits. A batch driver whose queue is
+    /// narrower than its thread count starts the surplus here; otherwise
+    /// permits arrive as workers retire ([`ThreadBudget::release`]).
+    pub fn new(spare: usize) -> ThreadBudget {
+        ThreadBudget { spare: Mutex::new(spare) }
+    }
+
+    /// Return `n` permits to the pool (a worker retiring from the kernel
+    /// queue, or a lease being dropped).
+    pub fn release(&self, n: usize) {
+        if n > 0 {
+            *self.spare.lock().expect("thread budget") += n;
+        }
+    }
+
+    /// Take up to `want` permits without blocking. The caller's own thread
+    /// never needs a permit, so a lease of `0` still makes progress — it
+    /// just runs the fan-out serially.
+    pub fn lease(&self, want: usize) -> Lease<'_> {
+        if want == 0 {
+            return Lease { budget: self, taken: 0 };
+        }
+        let mut spare = self.spare.lock().expect("thread budget");
+        let taken = want.min(*spare);
+        *spare -= taken;
+        Lease { budget: self, taken }
+    }
+
+    /// Currently free permits (diagnostic only; racy by nature).
+    pub fn spare(&self) -> usize {
+        *self.spare.lock().expect("thread budget")
+    }
+}
+
+/// Permits leased from a [`ThreadBudget`]; returned on drop.
+#[derive(Debug)]
+pub struct Lease<'a> {
+    budget: &'a ThreadBudget,
+    taken: usize,
+}
+
+impl Lease<'_> {
+    /// How many extra threads (beyond the calling thread) the lease grants.
+    pub fn extra(&self) -> usize {
+        self.taken
+    }
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.taken);
+    }
+}
+
+/// Effective width of a fan-out of `tasks` independent tasks: the calling
+/// thread plus either a budget lease (shared-pool mode) or the requested
+/// width outright (standalone mode, `budget = None`). Returns the lease so
+/// the permits survive until the fan-out joins.
+pub fn fanout_width<'a>(
+    budget: Option<&'a ThreadBudget>,
+    want: usize,
+    tasks: usize,
+) -> (usize, Option<Lease<'a>>) {
+    let want = want.clamp(1, tasks.max(1));
+    match budget {
+        None => (want, None),
+        Some(b) => {
+            let lease = b.lease(want - 1);
+            let width = 1 + lease.extra();
+            (width, Some(lease))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_returns_on_drop() {
+        let b = ThreadBudget::new(3);
+        {
+            let l = b.lease(2);
+            assert_eq!(l.extra(), 2);
+            assert_eq!(b.spare(), 1);
+            let l2 = b.lease(5);
+            assert_eq!(l2.extra(), 1, "lease never blocks; it takes what is free");
+            assert_eq!(b.spare(), 0);
+        }
+        assert_eq!(b.spare(), 3, "both leases returned");
+    }
+
+    #[test]
+    fn release_grows_the_pool() {
+        let b = ThreadBudget::new(0);
+        assert_eq!(b.lease(4).extra(), 0);
+        b.release(2);
+        let l = b.lease(4);
+        assert_eq!(l.extra(), 2);
+    }
+
+    #[test]
+    fn fanout_width_modes() {
+        // standalone: the requested width, clamped to the task count
+        let (w, l) = fanout_width(None, 8, 3);
+        assert_eq!(w, 3);
+        assert!(l.is_none());
+        let b = ThreadBudget::new(1);
+        // pooled: own thread plus whatever the budget spares
+        let (w, l) = fanout_width(Some(&b), 8, 16);
+        assert_eq!(w, 2);
+        drop(l);
+        assert_eq!(b.spare(), 1);
+        // a single task never leases anything
+        let (w, _l) = fanout_width(Some(&b), 8, 1);
+        assert_eq!(w, 1);
+        assert_eq!(b.spare(), 1);
+    }
+}

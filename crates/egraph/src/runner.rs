@@ -9,13 +9,31 @@
 //! tree-walk engine remains available as [`MatchEngine::Legacy`] — it is
 //! the differential-testing oracle and the baseline for the saturation
 //! throughput bench.
+//!
+//! # Parallel search
+//!
+//! The rebuild discipline already splits every iteration into a read-only
+//! *search* phase over a frozen e-graph and a mutating *apply* phase.
+//! [`Runner::sat_threads`] parallelizes the search: each non-banned rule
+//! becomes one task, tasks are drained from an atomic cursor by scoped
+//! threads sharing `&EGraph`, and every task writes its matches into a
+//! pre-allocated per-rule slot. After the join the slots are walked in
+//! rule-index order — backoff decisions, per-rule statistics and the
+//! concatenated match list are computed from deterministic per-rule match
+//! counts, so the result is byte-identical at any thread count. Stopping
+//! is governed by the node/iteration budgets; the wall-clock limit is
+//! checked only at iteration boundaries (a safety valve, as in
+//! extraction), never mid-search, so it cannot reorder or truncate the
+//! match stream on one thread count but not another.
 
 use crate::egraph::EGraph;
 use crate::fxhash::FxHashSet;
 use crate::machine::VarSubst;
 use crate::node::Id;
+use crate::pool::ThreadBudget;
 use crate::rewrite::{Rewrite, RuleMatch};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why the runner stopped.
@@ -88,6 +106,14 @@ pub struct IterationStats {
     pub total_nodes: usize,
     /// Live e-classes at the end of the iteration.
     pub num_classes: usize,
+    /// Wall time of the search phase (dirty-set snapshot, rule matching,
+    /// backoff accounting). Observability only — wall-clock fields never
+    /// reach the stable JSON reports.
+    pub search_time: Duration,
+    /// Wall time of the serial apply phase (dedup + rule instantiation).
+    pub apply_time: Duration,
+    /// Wall time of the single congruence rebuild closing the iteration.
+    pub rebuild_time: Duration,
 }
 
 /// Cumulative per-rule statistics over a saturation run.
@@ -127,6 +153,21 @@ impl RunnerReport {
     /// Total number of substitutions found across all iterations.
     pub fn total_matches(&self) -> usize {
         self.iterations.iter().map(|i| i.matches).sum()
+    }
+
+    /// Cumulative wall time of the search phases.
+    pub fn search_time(&self) -> Duration {
+        self.iterations.iter().map(|i| i.search_time).sum()
+    }
+
+    /// Cumulative wall time of the apply phases.
+    pub fn apply_time(&self) -> Duration {
+        self.iterations.iter().map(|i| i.apply_time).sum()
+    }
+
+    /// Cumulative wall time of the rebuild phases.
+    pub fn rebuild_time(&self) -> Duration {
+        self.iterations.iter().map(|i| i.rebuild_time).sum()
     }
 }
 
@@ -169,6 +210,17 @@ struct RuleState {
     pending: Pending,
 }
 
+/// What one search task is restricted to. Resolved against the shared
+/// dirty set inside the worker, so tasks carry no per-rule copy of it.
+enum Restrict {
+    /// Search the whole graph (first iteration, or a deferred full search).
+    Whole,
+    /// Search the iteration's shared dirty set.
+    Dirty,
+    /// Search an owned set (deferred classes merged with the dirty set).
+    Owned(FxHashSet<Id>),
+}
+
 /// The equality-saturation runner.
 pub struct Runner {
     /// Node / iteration / wall-clock limits (defaults mirror §VII).
@@ -182,6 +234,14 @@ pub struct Runner {
     /// `None` disables the backoff scheduler (every rule runs every
     /// iteration, as in the seed).
     pub backoff: Option<BackoffConfig>,
+    /// Worker threads for the compiled engine's search phase (`1` searches
+    /// serially on the calling thread). Results are byte-identical at any
+    /// value — see the module docs.
+    pub sat_threads: usize,
+    /// Optional shared lease pool: when set, the search fan-out takes at
+    /// most `1 + leased` threads per iteration instead of `sat_threads`
+    /// outright, so concurrent kernels of a batch share one thread budget.
+    pub budget: Option<Arc<ThreadBudget>>,
 }
 
 impl Runner {
@@ -200,6 +260,8 @@ impl Runner {
             rules,
             engine: MatchEngine::Compiled,
             backoff: Some(BackoffConfig::default()),
+            sat_threads: 1,
+            budget: None,
         }
     }
 
@@ -218,6 +280,18 @@ impl Runner {
     /// Override (or disable, with `None`) the backoff scheduler.
     pub fn with_backoff(mut self, backoff: Option<BackoffConfig>) -> Runner {
         self.backoff = backoff;
+        self
+    }
+
+    /// Set the search-phase thread count (clamped to at least 1).
+    pub fn with_sat_threads(mut self, threads: usize) -> Runner {
+        self.sat_threads = threads.max(1);
+        self
+    }
+
+    /// Attach a shared thread budget (batch mode; see [`ThreadBudget`]).
+    pub fn with_budget(mut self, budget: Option<Arc<ThreadBudget>>) -> Runner {
+        self.budget = budget;
         self
     }
 
@@ -251,6 +325,11 @@ impl Runner {
             if it >= self.limits.iter_limit {
                 break StopReason::IterLimit;
             }
+            // wall-clock safety valve, checked at iteration boundaries
+            // only: a mid-search check would truncate the match stream at a
+            // scheduling-dependent point and break byte-identity across
+            // thread counts. The node and iteration budgets are what
+            // normally stop a run.
             if start.elapsed() >= self.limits.time_limit {
                 break StopReason::TimeLimit;
             }
@@ -261,33 +340,87 @@ impl Runner {
             // 1. search. The first iteration scans every op-index candidate;
             // later iterations re-search only classes touched since the
             // previous rebuild (closed over parents), plus whatever benched
-            // rules still owe.
+            // rules still owe. Banned-rule bookkeeping happens up front so
+            // the remaining tasks are independent of each other.
+            let t_search = Instant::now();
             let dirty: Option<FxHashSet<Id>> = if it == 0 {
                 eg.clear_search_dirty();
                 None
             } else {
                 Some(eg.take_search_dirty())
             };
-            let mut all_matches: Vec<(usize, RuleMatch)> = Vec::new();
-            let mut found = 0usize;
-            for (ri, rule) in self.rules.iter().enumerate() {
+            let mut tasks: Vec<(usize, Restrict)> = Vec::with_capacity(self.rules.len());
+            for ri in 0..self.rules.len() {
                 if states[ri].banned_until > it {
                     rule_stats[ri].banned_iters += 1;
                     states[ri].pending.merge_dirty(dirty.as_ref());
                     continue;
                 }
-                let owned: Option<FxHashSet<Id>>;
-                let restrict: Option<&FxHashSet<Id>> =
-                    match (std::mem::take(&mut states[ri].pending), dirty.as_ref()) {
-                        (Pending::Full, _) | (_, None) => None,
-                        (Pending::Empty, Some(d)) => Some(d),
-                        (Pending::Classes(mut p), Some(d)) => {
-                            p.extend(d.iter().copied());
-                            owned = Some(p);
-                            owned.as_ref()
-                        }
+                let restrict = match (std::mem::take(&mut states[ri].pending), dirty.as_ref()) {
+                    (Pending::Full, _) | (_, None) => Restrict::Whole,
+                    (Pending::Empty, Some(_)) => Restrict::Dirty,
+                    (Pending::Classes(mut p), Some(d)) => {
+                        p.extend(d.iter().copied());
+                        Restrict::Owned(p)
+                    }
+                };
+                tasks.push((ri, restrict));
+            }
+
+            // Pre-allocated per-task slots: whichever thread searches a
+            // rule writes by task index, and the walk below reads in
+            // rule-index order — completion order never shows.
+            let slots: Vec<Mutex<Option<Vec<RuleMatch>>>> =
+                tasks.iter().map(|_| Mutex::new(None)).collect();
+            {
+                let eg_ref: &EGraph = eg;
+                let dirty_ref = dirty.as_ref();
+                let search_one = |ti: usize| {
+                    let (ri, restrict) = &tasks[ti];
+                    let restrict = match restrict {
+                        Restrict::Whole => None,
+                        Restrict::Dirty => dirty_ref,
+                        Restrict::Owned(s) => Some(s),
                     };
-                let matches = rule.search_filtered(eg, restrict);
+                    *slots[ti].lock().expect("search slot") =
+                        Some(self.rules[*ri].search_filtered(eg_ref, restrict));
+                };
+                let (width, _lease) = crate::pool::fanout_width(
+                    self.budget.as_deref(),
+                    self.sat_threads,
+                    tasks.len(),
+                );
+                if width <= 1 {
+                    for ti in 0..tasks.len() {
+                        search_one(ti);
+                    }
+                } else {
+                    let cursor = AtomicUsize::new(0);
+                    let drain = || loop {
+                        let ti = cursor.fetch_add(1, Ordering::Relaxed);
+                        if ti >= tasks.len() {
+                            break;
+                        }
+                        search_one(ti);
+                    };
+                    std::thread::scope(|scope| {
+                        for _ in 1..width {
+                            scope.spawn(drain);
+                        }
+                        // the kernel's own thread always participates
+                        drain();
+                    });
+                }
+            }
+
+            // Join complete: walk the slots in rule-index order. Backoff
+            // decisions are taken here, from the deterministic per-rule
+            // match counts — never inside a worker.
+            let mut all_matches: Vec<(usize, RuleMatch)> = Vec::new();
+            let mut found = 0usize;
+            for ((ri, restrict), slot) in tasks.into_iter().zip(slots) {
+                let matches =
+                    slot.into_inner().expect("search slot").expect("every search task ran");
                 found += matches.len();
                 rule_stats[ri].matches += matches.len();
                 if let Some(cfg) = self.backoff {
@@ -298,44 +431,54 @@ impl Runner {
                         states[ri].banned_until = it + 1 + (cfg.ban_length << shift);
                         states[ri].times_banned += 1;
                         rule_stats[ri].times_banned += 1;
-                        states[ri].pending = match restrict {
-                            None => Pending::Full,
-                            Some(set) => Pending::Classes(set.clone()),
+                        states[ri].pending = match (restrict, dirty.as_ref()) {
+                            (Restrict::Whole, _) | (Restrict::Dirty, None) => Pending::Full,
+                            (Restrict::Dirty, Some(d)) => Pending::Classes(d.clone()),
+                            (Restrict::Owned(s), _) => Pending::Classes(s),
                         };
                         continue;
                     }
                 }
                 all_matches.extend(matches.into_iter().map(|m| (ri, m)));
-                if start.elapsed() >= self.limits.time_limit {
-                    break;
-                }
             }
+            let search_time = t_search.elapsed();
 
             // 2. apply every distinct match, then restore congruence once.
             // Match roots and substitutions are canonical as of the search
             // (the VM canonicalizes while matching), so the dedup key needs
             // no extra `find` calls; `apply_match` canonicalizes internally
-            // and `applied` counts only unions that changed the graph.
+            // and `applied` counts only unions that changed the graph. The
+            // key is moved, not cloned: a contains-probe filters repeats
+            // and the insert afterwards consumes the match.
+            let t_apply = Instant::now();
             let mut applied = 0usize;
             for (ri, m) in all_matches {
                 if eg.total_nodes() >= self.limits.node_limit {
                     break;
                 }
-                if !seen.insert((ri, m.class, m.subst.clone())) {
+                let key = (ri, m.class, m.subst);
+                if seen.contains(&key) {
                     continue;
                 }
-                if self.rules[ri].apply_match(eg, m.class, &m.subst) {
+                if self.rules[ri].apply_match(eg, key.1, &key.2) {
                     applied += 1;
                     rule_stats[ri].applied += 1;
                 }
+                seen.insert(key);
             }
+            let apply_time = t_apply.elapsed();
+            let t_rebuild = Instant::now();
             eg.rebuild();
+            let rebuild_time = t_rebuild.elapsed();
 
             iterations.push(IterationStats {
                 matches: found,
                 applied,
                 total_nodes: eg.total_nodes(),
                 num_classes: eg.num_classes(),
+                search_time,
+                apply_time,
+                rebuild_time,
             });
 
             // saturated only when nothing changed AND no benched rule still
@@ -371,6 +514,7 @@ impl Runner {
             eg.clear_search_dirty();
 
             // 1. search all rules against the current (frozen) e-graph
+            let t_search = Instant::now();
             let mut all_matches = Vec::new();
             for (ri, rule) in self.rules.iter().enumerate() {
                 let matches = rule.search_legacy(eg);
@@ -383,8 +527,10 @@ impl Runner {
                 }
             }
             let found = all_matches.len();
+            let search_time = t_search.elapsed();
 
             // 2. apply every match, then restore congruence once
+            let t_apply = Instant::now();
             let mut applied = 0usize;
             for (ri, class, subst) in all_matches {
                 if eg.total_nodes() >= self.limits.node_limit {
@@ -395,13 +541,19 @@ impl Runner {
                     rule_stats[ri].applied += 1;
                 }
             }
+            let apply_time = t_apply.elapsed();
+            let t_rebuild = Instant::now();
             eg.rebuild();
+            let rebuild_time = t_rebuild.elapsed();
 
             iterations.push(IterationStats {
                 matches: found,
                 applied,
                 total_nodes: eg.total_nodes(),
                 num_classes: eg.num_classes(),
+                search_time,
+                apply_time,
+                rebuild_time,
             });
 
             if applied == 0 {
@@ -579,6 +731,88 @@ mod tests {
             let last = report.iterations.last().unwrap();
             assert_eq!(last.applied, 0);
         }
+    }
+
+    /// Saturation reports (and resulting e-graphs) must be identical at
+    /// any search thread count, including under backoff pressure.
+    #[test]
+    fn parallel_search_matches_serial() {
+        let run = |threads: usize| {
+            let mut eg = EGraph::new();
+            let leaves: Vec<_> = (0..8).map(|i| eg.add(Node::sym(&format!("x{i}")))).collect();
+            let mut acc = leaves[0];
+            for &l in &leaves[1..] {
+                acc = eg.add(Node::new(Op::Mul, vec![acc, l]));
+            }
+            let backoff = BackoffConfig { match_limit: 16, ban_length: 1 };
+            let limits = RunnerLimits { iter_limit: 6, node_limit: 3000, ..Default::default() };
+            let runner = Runner::new(all_rules())
+                .with_limits(limits)
+                .with_backoff(Some(backoff))
+                .with_sat_threads(threads);
+            let report = runner.run(&mut eg);
+            (report, eg.total_nodes(), eg.num_classes())
+        };
+        let (serial, nodes1, classes1) = run(1);
+        for threads in [2, 8] {
+            let (par, nodes, classes) = run(threads);
+            assert_eq!(nodes, nodes1, "{threads} threads: node counts diverge");
+            assert_eq!(classes, classes1, "{threads} threads: class counts diverge");
+            assert_eq!(par.stop_reason, serial.stop_reason);
+            assert_eq!(par.iterations.len(), serial.iterations.len());
+            for (a, b) in par.iterations.iter().zip(&serial.iterations) {
+                assert_eq!((a.matches, a.applied), (b.matches, b.applied));
+                assert_eq!((a.total_nodes, a.num_classes), (b.total_nodes, b.num_classes));
+            }
+            for (a, b) in par.rule_stats.iter().zip(&serial.rule_stats) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(
+                    (a.matches, a.applied, a.times_banned, a.banned_iters),
+                    (b.matches, b.applied, b.times_banned, b.banned_iters),
+                    "rule {} diverges at {threads} threads",
+                    a.name
+                );
+            }
+        }
+    }
+
+    /// A shared budget with no spare permits degrades the fan-out to the
+    /// calling thread; with permits it widens. Results are identical.
+    #[test]
+    fn budgeted_search_is_identical() {
+        use crate::pool::ThreadBudget;
+        let run = |budget: Option<Arc<ThreadBudget>>| {
+            let mut eg = EGraph::new();
+            let ids = chain_add(&mut eg, &["a", "b", "c", "d"]);
+            let ab = eg.add(Node::new(Op::Add, vec![ids[0], ids[1]]));
+            let cd = eg.add(Node::new(Op::Add, vec![ids[2], ids[3]]));
+            let _r = eg.add(Node::new(Op::Mul, vec![ab, cd]));
+            let runner = Runner::new(all_rules()).with_sat_threads(4).with_budget(budget);
+            let report = runner.run(&mut eg);
+            (report.total_matches(), report.total_applied(), eg.total_nodes())
+        };
+        let starving = run(Some(Arc::new(ThreadBudget::new(0))));
+        let flush = run(Some(Arc::new(ThreadBudget::new(8))));
+        let unbudgeted = run(None);
+        assert_eq!(starving, flush);
+        assert_eq!(starving, unbudgeted);
+    }
+
+    /// Phase timings are recorded for every iteration and sum into the
+    /// report accessors.
+    #[test]
+    fn phase_timings_populated() {
+        let mut eg = EGraph::new();
+        let ids = chain_add(&mut eg, &["a", "b", "c"]);
+        let bc = eg.add(Node::new(Op::Mul, vec![ids[1], ids[2]]));
+        let _sum = eg.add(Node::new(Op::Add, vec![bc, ids[0]]));
+        let report = Runner::new(all_rules()).run(&mut eg);
+        assert!(!report.iterations.is_empty());
+        let total = report.search_time() + report.apply_time() + report.rebuild_time();
+        assert!(total <= report.elapsed, "phases cannot exceed the whole run");
+        let per_iter: Duration =
+            report.iterations.iter().map(|i| i.search_time + i.apply_time + i.rebuild_time).sum();
+        assert_eq!(per_iter, total);
     }
 
     #[test]

@@ -53,7 +53,8 @@ pub use cost::CostModel;
 pub use greedy::extract_greedy;
 pub use lp::LpBound;
 pub use portfolio::{
-    extract_portfolio, extract_portfolio_k, HarvestedSelection, PortfolioConfig, PortfolioHarvest,
+    extract_portfolio, extract_portfolio_budgeted, extract_portfolio_k,
+    extract_portfolio_k_budgeted, HarvestedSelection, PortfolioConfig, PortfolioHarvest,
     PortfolioResult, WorkerOutcome, STRATEGY_COUNT,
 };
 pub use refine::{climb, marginal_greedy};

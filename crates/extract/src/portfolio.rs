@@ -32,7 +32,9 @@ use crate::bnb::{extract_exact_in, ClassOrder, SearchContext, SearchOptions};
 use crate::cost::CostModel;
 use crate::greedy::extract_greedy;
 use crate::selection::Selection;
-use accsat_egraph::{EGraph, Id};
+use accsat_egraph::{EGraph, Id, ThreadBudget};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// The fixed strategy table the portfolio draws from, in priority order.
@@ -177,6 +179,7 @@ fn run_portfolio(
     roots: &[Id],
     cm: &CostModel,
     config: &PortfolioConfig,
+    budget: Option<&ThreadBudget>,
 ) -> PortfolioCore {
     let greedy = extract_greedy(eg, roots, cm);
     let greedy_cost = greedy.dag_cost(eg, cm, roots);
@@ -236,8 +239,13 @@ fn run_portfolio(
         };
     }
 
-    let width = config.threads.clamp(1, STRATEGIES.len());
-    let opts: Vec<(&'static str, SearchOptions)> = STRATEGIES[..width]
+    // `config.threads` fixes WHICH strategies run (the first `want` table
+    // entries) and therefore the result set; how many OS threads actually
+    // drain them is a separate, output-invisible question answered by the
+    // shared budget when one is installed (two-level pool) or by `want`
+    // itself when running standalone.
+    let want = config.threads.clamp(1, STRATEGIES.len());
+    let opts: Vec<(&'static str, SearchOptions)> = STRATEGIES[..want]
         .iter()
         .map(|&(name, order, prefer_shared)| {
             (
@@ -253,24 +261,39 @@ fn run_portfolio(
         })
         .collect();
 
-    let results: Vec<(&'static str, crate::bnb::ExactResult)> = if width == 1 {
-        vec![(opts[0].0, extract_exact_in(&cx, roots, &incumbent, incumbent_cost, &opts[0].1))]
+    let (width, _lease) = accsat_egraph::pool::fanout_width(budget, want, opts.len());
+    let results: Vec<(&'static str, crate::bnb::ExactResult)> = if width <= 1 {
+        opts.iter()
+            .map(|(name, o)| (*name, extract_exact_in(&cx, roots, &incumbent, incumbent_cost, o)))
+            .collect()
     } else {
-        std::thread::scope(|scope| {
-            let cx = &cx;
-            let incumbent = &incumbent;
-            let handles: Vec<_> = opts
-                .iter()
-                .map(|(name, o)| {
-                    let name = *name;
-                    let o = *o;
-                    scope.spawn(move || {
-                        (name, extract_exact_in(cx, roots, incumbent, incumbent_cost, &o))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("portfolio worker panicked")).collect()
-        })
+        // atomic-cursor drain into per-strategy slots: workers pick the
+        // next undone strategy, results land indexed by strategy — never
+        // by completion order — so the join below is deterministic.
+        let slots: Vec<Mutex<Option<crate::bnb::ExactResult>>> =
+            opts.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        {
+            let (cx, incumbent, opts, slots, next) = (&cx, &incumbent, &opts, &slots, &next);
+            let drain = move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, o)) = opts.get(i) else { break };
+                let r = extract_exact_in(cx, roots, incumbent, incumbent_cost, o);
+                *slots[i].lock().expect("portfolio slot") = Some(r);
+            };
+            std::thread::scope(|scope| {
+                for _ in 1..width {
+                    scope.spawn(drain);
+                }
+                drain();
+            });
+        }
+        opts.iter()
+            .zip(slots)
+            .map(|((name, _), slot)| {
+                (*name, slot.into_inner().expect("portfolio slot").expect("strategy drained"))
+            })
+            .collect()
     };
     PortfolioCore {
         greedy,
@@ -298,7 +321,22 @@ pub fn extract_portfolio(
     cm: &CostModel,
     config: &PortfolioConfig,
 ) -> PortfolioResult {
-    let core = run_portfolio(eg, roots, cm, config);
+    extract_portfolio_budgeted(eg, roots, cm, config, None)
+}
+
+/// [`extract_portfolio`] wired into a shared [`ThreadBudget`]: the racing
+/// strategies (still the first `config.threads` table entries, so the
+/// result is identical) are drained by the calling thread plus however
+/// many spare permits the budget grants for the duration of the race.
+/// `None` behaves exactly like the plain entry point.
+pub fn extract_portfolio_budgeted(
+    eg: &EGraph,
+    roots: &[Id],
+    cm: &CostModel,
+    config: &PortfolioConfig,
+    budget: Option<&ThreadBudget>,
+) -> PortfolioResult {
+    let core = run_portfolio(eg, roots, cm, config, budget);
     if core.short_circuit {
         return PortfolioResult {
             selection: core.incumbent,
@@ -371,7 +409,20 @@ pub fn extract_portfolio_k(
     cm: &CostModel,
     config: &PortfolioConfig,
 ) -> PortfolioHarvest {
-    let core = run_portfolio(eg, roots, cm, config);
+    extract_portfolio_k_budgeted(eg, roots, cm, config, None)
+}
+
+/// [`extract_portfolio_k`] on a shared [`ThreadBudget`] (see
+/// [`extract_portfolio_budgeted`]); the harvest is identical for any
+/// budget state, including `None`.
+pub fn extract_portfolio_k_budgeted(
+    eg: &EGraph,
+    roots: &[Id],
+    cm: &CostModel,
+    config: &PortfolioConfig,
+    budget: Option<&ThreadBudget>,
+) -> PortfolioHarvest {
+    let core = run_portfolio(eg, roots, cm, config, budget);
     let mut members = vec![HarvestedSelection {
         strategy: "greedy",
         selection: core.greedy,
@@ -461,6 +512,26 @@ mod tests {
                     "selections must be byte-identical run to run"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn budgeted_portfolio_is_identical_to_plain() {
+        // an empty budget (race runs on the calling thread alone) and a
+        // flush one (full fan-out) both reproduce the plain portfolio
+        let (eg, roots) = sharing_graph();
+        let cm = CostModel::paper();
+        let cfg = PortfolioConfig { threads: 4, ..PortfolioConfig::default() };
+        let plain = extract_portfolio(&eg, &roots, &cm, &cfg);
+        for spare in [0, 8] {
+            let budget = ThreadBudget::new(spare);
+            let res = extract_portfolio_budgeted(&eg, &roots, &cm, &cfg, Some(&budget));
+            assert_eq!(res.cost, plain.cost, "spare={spare}");
+            assert_eq!(res.winner, plain.winner, "spare={spare}");
+            for &r in &roots {
+                assert_eq!(res.selection.term_string(&eg, r), plain.selection.term_string(&eg, r));
+            }
+            assert_eq!(budget.spare(), spare, "race must return every leased permit");
         }
     }
 

@@ -54,9 +54,18 @@ pub enum SsaNode {
         phis: Vec<(String, Id, Id, Id)>,
     },
     /// Any other statement (function-call statement, `while`) re-emitted
-    /// verbatim; conservatively invalidates nothing because the C subset's
-    /// calls are pure math.
-    Opaque(Stmt),
+    /// verbatim. Every name the statement may write is *havocked*: rebound
+    /// to a fresh opaque symbol (`name@H0`, `name@H1`, …) that nothing
+    /// else can alias, so CSE cannot reuse — and bulk load cannot hoist —
+    /// a value read across the statement's stores.
+    Opaque {
+        /// The original statement, re-emitted verbatim.
+        stmt: Stmt,
+        /// (name, havoc symbol class) for every name the statement may
+        /// write, sorted by name. Codegen binds each name to its havoc
+        /// class after emitting the statement.
+        havocs: Vec<(String, Id)>,
+    },
 }
 
 /// Result of SSA construction for one kernel body.
@@ -133,6 +142,7 @@ pub fn build_kernel(body: &Block) -> SsaKernel {
         arrays: Vec::new(),
         declared: HashSet::new(),
         loop_counter: 0,
+        havoc_counter: 0,
     };
     let nodes = b.block(body);
     SsaKernel {
@@ -155,6 +165,8 @@ struct Builder {
     /// value that exists before any branch executes.
     declared: HashSet<String>,
     loop_counter: usize,
+    /// Fresh-symbol counter for opaque-statement havocs (`x@H0`, …).
+    havoc_counter: usize,
 }
 
 impl Builder {
@@ -398,9 +410,159 @@ impl Builder {
                 header.body = Block::default();
                 out.push(SsaNode::Loop { header, body: body_nodes, phis });
             }
-            other => out.push(SsaNode::Opaque(other.clone())),
+            other => {
+                // havoc every name the statement may write (it executes
+                // out of the e-graph's sight): reading its pre-value first
+                // records ambient initial values so codegen tracks array
+                // states from kernel entry, then each name is rebound to a
+                // fresh opaque symbol no other expression can alias.
+                // Names the statement declares itself die with its scope
+                // and are not havocked.
+                self.note_arrays_in(other);
+                let local = locally_declared(other);
+                let mut names = modified_names(&Block::new(vec![other.clone()]));
+                names.retain(|n| !local.contains(n));
+                names.sort();
+                let mut havocs = Vec::new();
+                for name in names {
+                    self.value_of(&name);
+                    let sym = format!("{name}@H{}", self.havoc_counter);
+                    self.havoc_counter += 1;
+                    let id = self.eg.add(Node::sym(&sym));
+                    self.env.insert(name.clone(), id);
+                    havocs.push((name, id));
+                }
+                out.push(SsaNode::Opaque { stmt: other.clone(), havocs });
+            }
         }
     }
+
+    /// Record every name used as an array anywhere inside `s` (opaque
+    /// statements are not lowered, so [`Builder::expr`] never sees their
+    /// index expressions).
+    fn note_arrays_in(&mut self, s: &Stmt) {
+        fn expr(b: &mut Builder, e: &Expr) {
+            match e {
+                Expr::Index { base, indices } => {
+                    b.note_array(base);
+                    for i in indices {
+                        expr(b, i);
+                    }
+                }
+                Expr::Unary { operand, .. } => expr(b, operand),
+                Expr::Binary { lhs, rhs, .. } => {
+                    expr(b, lhs);
+                    expr(b, rhs);
+                }
+                Expr::Call { args, .. } => {
+                    for a in args {
+                        expr(b, a);
+                    }
+                }
+                Expr::Ternary { cond, then, els } => {
+                    expr(b, cond);
+                    expr(b, then);
+                    expr(b, els);
+                }
+                Expr::Cast { expr: inner, .. } => expr(b, inner),
+                Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+            }
+        }
+        match s {
+            Stmt::Decl { init, .. } => {
+                if let Some(e) = init {
+                    expr(self, e);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                if let LValue::Index { base, indices } = lhs {
+                    self.note_array(base);
+                    for i in indices {
+                        expr(self, i);
+                    }
+                }
+                expr(self, rhs);
+            }
+            Stmt::If { cond, then, els } => {
+                expr(self, cond);
+                for s in &then.stmts {
+                    self.note_arrays_in(s);
+                }
+                if let Some(e) = els {
+                    for s in &e.stmts {
+                        self.note_arrays_in(s);
+                    }
+                }
+            }
+            Stmt::For(l) => {
+                expr(self, &l.init);
+                expr(self, &l.cond);
+                expr(self, &l.step);
+                for s in &l.body.stmts {
+                    self.note_arrays_in(s);
+                }
+            }
+            Stmt::While { cond, body } => {
+                expr(self, cond);
+                for s in &body.stmts {
+                    self.note_arrays_in(s);
+                }
+            }
+            Stmt::Block(b) => {
+                for s in &b.stmts {
+                    self.note_arrays_in(s);
+                }
+            }
+            Stmt::Expr(e) => expr(self, e),
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    expr(self, e);
+                }
+            }
+        }
+    }
+}
+
+/// Names declared *inside* `s` (block-scoped: they die with the statement
+/// and must not be havocked at the enclosing scope).
+fn locally_declared(s: &Stmt) -> Vec<String> {
+    let mut out = Vec::new();
+    fn go(s: &Stmt, out: &mut Vec<String>) {
+        match s {
+            Stmt::Decl { name, .. } => out.push(name.clone()),
+            Stmt::If { then, els, .. } => {
+                for s in &then.stmts {
+                    go(s, out);
+                }
+                if let Some(e) = els {
+                    for s in &e.stmts {
+                        go(s, out);
+                    }
+                }
+            }
+            Stmt::For(l) => {
+                if l.declares_var {
+                    out.push(l.var.clone());
+                }
+                for s in &l.body.stmts {
+                    go(s, out);
+                }
+            }
+            Stmt::While { body, .. } => {
+                for s in &body.stmts {
+                    go(s, out);
+                }
+            }
+            Stmt::Block(b) => {
+                for s in &b.stmts {
+                    go(s, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    go(s, &mut out);
+    out
 }
 
 fn binop_to_op(op: BinOp) -> Op {
@@ -521,6 +683,73 @@ void f(double out[8], int base) {
         let roots = k.extraction_roots();
         // value class + one index class
         assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    fn while_statement_havocs_modified_names() {
+        let src = r#"
+void f(double a[8], double out[8], double c) {
+  double s = a[2] + c;
+  int w = 0;
+  while (w < 3) {
+    a[2] = a[2] + s;
+    w = w + 1;
+  }
+  out[0] = s + a[2];
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let k = build_kernel(&prog.functions[0].body);
+        let havocs = k
+            .nodes
+            .iter()
+            .find_map(|n| match n {
+                SsaNode::Opaque { havocs, .. } => Some(havocs),
+                _ => None,
+            })
+            .expect("while lowers to an opaque node");
+        let names: Vec<&str> = havocs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "w"], "modified names, sorted");
+        assert!(k.array_names.iter().any(|a| a == "a"), "arrays inside the while are noted");
+        // the store after the while must write through the havocked array
+        // state, never the pre-while one: its value class reads a fresh
+        // `a@H…` symbol somewhere below
+        let last = k.nodes.last().expect("kernel has nodes");
+        let SsaNode::Assign { class, .. } = last else { panic!("expected final store") };
+        let mut stack = vec![*class];
+        let mut seen = std::collections::HashSet::new();
+        let mut found_havoc = false;
+        while let Some(c) = stack.pop() {
+            let c = k.egraph.find(c);
+            if !seen.insert(c) {
+                continue;
+            }
+            for n in &k.egraph.class(c).nodes {
+                if let Op::Sym(s) = &n.op {
+                    found_havoc |= s.contains("@H");
+                }
+                stack.extend(n.children.iter().copied());
+            }
+        }
+        assert!(found_havoc, "post-while load must read a havoc symbol state");
+    }
+
+    #[test]
+    fn locally_declared_names_are_not_havocked() {
+        let src = r#"
+void f(double a[8], double b) {
+  while (b < 4.0) {
+    double t = a[0] + 1.0;
+    a[0] = t;
+    b = b + t;
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let k = build_kernel(&prog.functions[0].body);
+        let SsaNode::Opaque { havocs, .. } = &k.nodes[0] else { panic!("expected opaque") };
+        let names: Vec<&str> = havocs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b"], "`t` dies with the while body and is not havocked");
     }
 
     #[test]

@@ -100,11 +100,44 @@ void fz(double a[32], double b[32], double out[32], double c0) {
     assert!(after <= 4, "an `if` with one observable store suffices, got {after} statements");
 }
 
+/// A `while` loop that stores into an array mid-kernel: values loaded
+/// before the loop must not be reused (CSE) or hoisted (bulk load) past
+/// its stores. Before opaque statements havocked their modified names,
+/// the post-while load aliased the pre-while array state and every
+/// saturating variant reused the stale value.
+#[test]
+fn while_loop_stores_invalidate_cached_loads() {
+    let src = r#"
+void wk(double a[8], double out[8], double c) {
+  #pragma acc parallel loop gang vector
+  for (int i = 0; i < 8; i++) {
+    double s = a[2] / c;
+    int w = 0;
+    while (w < 3) {
+      a[2] = a[2] + s;
+      w = w + 1;
+    }
+    out[i] = s + a[2] * c;
+  }
+}
+"#;
+    let prog = parse_program(src).unwrap();
+    let f = &prog.functions[0];
+    let env0 = env_for(f);
+    let fc = FuzzConfig::default();
+    let findings = check_kernel(f, &env0, &fc, None).expect("original kernel must run");
+    assert!(findings.is_empty(), "while-kernel miscompiled: {findings:?}");
+}
+
 /// Campaign seed 7, cases 4, 26, 120 and 188 miscompiled before the
 /// conditional-store φ fix: a store under `if` to an array whose state had
 /// never been read left no φ behind, so later loads aliased the pre-store
 /// state and CSE/bulk-load reused (or hoisted) them across the store.
-/// These exact cases must stay clean forever.
+/// Adding the `arr_cond` and `while_loop` flavors widened the flavor draw
+/// from 5 to 7, remapping every seed to a different kernel — the original
+/// failing kernels live on as minimized repros in `tests/corpus/` (see
+/// `regression_minimized_corpus_repros`); these indices stay pinned as a
+/// cheap spot-check of the remapped generator.
 #[test]
 fn regression_seed7_previously_failing_cases() {
     let fc = FuzzConfig::default();

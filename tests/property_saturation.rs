@@ -1,0 +1,103 @@
+//! Property-based tests of the parallel saturation search: on random
+//! generated kernels, the runner's parallel search phase must be an
+//! invisible implementation detail. Matches are collected into per-rule
+//! slots and concatenated in rule-index order, so every observable — the
+//! per-iteration match/application counts (the match multiset, aggregated
+//! per rule and per iteration), backoff bans, node/class trajectory, stop
+//! reason, and the final e-graph shape — must be identical at any
+//! `sat_threads` value, with or without a shared thread budget attached.
+
+use accsat_benchmarks::{generate_kernel, GenConfig};
+use accsat_egraph::{all_rules, BackoffConfig, Runner, RunnerLimits, RunnerReport, ThreadBudget};
+use accsat_ir::{has_directive_loop, parse_program, Block, Stmt};
+use accsat_ssa::build_kernel;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything a saturation run reports except wall-clock time: stop
+/// reason, the per-iteration (matches, applied, nodes, classes) sequence,
+/// and the cumulative per-rule statistics including backoff decisions.
+type Fingerprint =
+    (String, Vec<(usize, usize, usize, usize)>, Vec<(String, usize, usize, usize, usize)>);
+
+fn fingerprint(r: &RunnerReport) -> Fingerprint {
+    (
+        format!("{:?}", r.stop_reason),
+        r.iterations.iter().map(|i| (i.matches, i.applied, i.total_nodes, i.num_classes)).collect(),
+        r.rule_stats
+            .iter()
+            .map(|s| (s.name.clone(), s.matches, s.applied, s.times_banned, s.banned_iters))
+            .collect(),
+    )
+}
+
+/// The innermost directive-carrying loop body — the same block the
+/// pipeline hands to SSA construction (outer nest loops stay outside the
+/// e-graph; their induction variables are scoped to the nest).
+fn kernel_body(b: &Block) -> Option<&Block> {
+    for s in &b.stmts {
+        if let Stmt::For(l) = s {
+            if l.directive.is_some() && !has_directive_loop(&l.body) {
+                return Some(&l.body);
+            }
+            if let Some(k) = kernel_body(&l.body) {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Build the kernel's e-graph from source and saturate it. Tight limits
+/// and an aggressive backoff keep debug-mode runs fast while still
+/// exercising banning, pending-class deferral and the dirty-set search.
+fn saturate(
+    src: &str,
+    threads: usize,
+    budget: Option<Arc<ThreadBudget>>,
+) -> (Fingerprint, usize, usize) {
+    let prog = parse_program(src).expect("generated kernel parses");
+    let body = kernel_body(&prog.functions[0].body).expect("generated kernel has a parallel loop");
+    let kernel = build_kernel(body);
+    let mut eg = kernel.egraph;
+    let report = Runner::new(all_rules())
+        .with_limits(RunnerLimits {
+            node_limit: 1500,
+            iter_limit: 4,
+            time_limit: Duration::from_secs(30),
+        })
+        .with_backoff(Some(BackoffConfig { match_limit: 64, ban_length: 2 }))
+        .with_sat_threads(threads)
+        .with_budget(budget)
+        .run(&mut eg);
+    (fingerprint(&report), eg.total_nodes(), eg.num_classes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serial search, wide parallel search, and parallel search starved
+    /// down to one thread by an empty budget all produce the same report
+    /// and the same e-graph.
+    #[test]
+    fn parallel_search_equals_serial_on_random_kernels(
+        seed in (0u64..u64::MAX),
+        threads in (2usize..9),
+    ) {
+        let gk = generate_kernel(seed, &GenConfig::default());
+        let serial = saturate(&gk.source, 1, None);
+        let wide = saturate(&gk.source, threads, None);
+        prop_assert!(
+            serial == wide,
+            "seed {seed} ({}): {threads}-thread search diverged from serial\n{serial:?}\n{wide:?}",
+            gk.flavor
+        );
+        let starved = saturate(&gk.source, threads, Some(Arc::new(ThreadBudget::new(0))));
+        prop_assert!(
+            serial == starved,
+            "seed {seed} ({}): budget-starved search diverged from serial",
+            gk.flavor
+        );
+    }
+}
