@@ -9,9 +9,11 @@
 //! whose halo loads are bulk-load-eligible, SPEC-ACCEL-shaped mixes of
 //! math calls, ternaries, casts and compound assignments, conditionals
 //! whose branch conditions compare array loads (including the mutable
-//! arrays, so condition loads must stay coherent with stores), and bounded
+//! arrays, so condition loads must stay coherent with stores), bounded
 //! `while` loops (opaque to SSA — every name they modify is havocked, so
-//! nothing may be CSE'd or hoisted across them).
+//! nothing may be CSE'd or hoisted across them), and depth-2 sequential
+//! accumulator nests (an outer loop φ whose body re-initializes and runs
+//! a full inner accumulation loop, so loop φs stack).
 //!
 //! Everything is driven by a [`SplitMix64`] stream, so one `u64` seed fully
 //! determines a kernel: the fuzz driver derives per-case seeds from the
@@ -112,7 +114,8 @@ pub struct GeneratedKernel {
     /// The seed that produced this kernel (and names it).
     pub seed: u64,
     /// Which generator flavor produced it (`stencil1d`, `phi_if`,
-    /// `seq_loop`, `twod`, `spec_mix`, `arr_cond`, `while_loop`).
+    /// `seq_loop`, `twod`, `spec_mix`, `arr_cond`, `while_loop`,
+    /// `deep_nest`).
     pub flavor: &'static str,
     /// Full C translation unit: one `void fz(...)` function with an
     /// OpenACC parallel loop.
@@ -561,6 +564,58 @@ impl Gen {
         // acc stays in scope as a readable local
     }
 
+    /// Emit a depth-2 sequential accumulation nest: an outer accumulator
+    /// loop whose body re-initializes an inner accumulator, runs a full
+    /// inner accumulation loop over it, and folds the inner total into
+    /// the outer one. Both accumulators are declared *before* the outer
+    /// loop (reassignment inside loop bodies is the construct SSA already
+    /// models; declarations scoped to a loop body are not), so loop φs
+    /// stack two deep and the inner φ's init operand is itself rewritten
+    /// every outer iteration.
+    fn deep_loop(&mut self) {
+        let outer_acc = self.fresh_name("s");
+        let init = self.expr(2);
+        self.line(&format!("double {outer_acc} = {init};"));
+        let inner_acc = self.fresh_name("s");
+        self.line(&format!("double {inner_acc} = 0.0;"));
+        let lo = self.fresh_name("l");
+        let ko = 2 + self.rng.below(2); // 2..=3 outer iterations
+        self.line(&format!("for (int {lo} = 0; {lo} < {ko}; {lo}++) {{"));
+        self.indent += 1;
+        self.seq_vars.push(lo.clone());
+        self.locals.push(Local { name: outer_acc.clone() });
+        // re-seed the inner accumulator each outer iteration so the
+        // inner loop φ's init operand is loop-variant
+        let reseed = self.expr(1);
+        self.line(&format!("{inner_acc} = {reseed};"));
+        self.locals.push(Local { name: inner_acc.clone() });
+        let li = self.fresh_name("l");
+        let ki = 2 + self.rng.below(2); // 2..=3 inner iterations
+        self.line(&format!("for (int {li} = 0; {li} < {ki}; {li}++) {{"));
+        self.indent += 1;
+        self.seq_vars.push(li.clone());
+        let step = self.expr(2);
+        self.line(&format!("{inner_acc} = {inner_acc} + {step};"));
+        if self.rng.chance(30) {
+            self.store_t();
+        }
+        self.seq_vars.pop();
+        self.indent -= 1;
+        self.line("}");
+        // fold the inner total into the outer accumulator; a clamped
+        // factor keeps multiplicative growth bounded like assign_local
+        if self.rng.chance(70) {
+            self.line(&format!("{outer_acc} = {outer_acc} + {inner_acc};"));
+        } else {
+            let c = self.clamped_expr(1);
+            self.line(&format!("{outer_acc} = {outer_acc} + {inner_acc} * {c};"));
+        }
+        self.seq_vars.pop();
+        self.indent -= 1;
+        self.line("}");
+        // both accumulators stay in scope as readable locals
+    }
+
     /// Emit a bounded `while` loop: `int w = 0; while (w < K) { …; w = w +
     /// 1; }`. SSA treats the whole `while` as opaque and havocs every name
     /// it modifies, so loads cached before the loop must be invalidated
@@ -599,6 +654,7 @@ impl Gen {
                     StmtKind::DeclIdx => self.decl_idx_local(),
                     StmtKind::If => self.if_stmt(1),
                     StmtKind::SeqLoop => self.seq_loop(),
+                    StmtKind::DeepLoop => self.deep_loop(),
                     StmtKind::While => self.while_stmt(),
                 }
                 return;
@@ -617,6 +673,7 @@ enum StmtKind {
     DeclIdx,
     If,
     SeqLoop,
+    DeepLoop,
     While,
 }
 
@@ -633,7 +690,7 @@ fn offset_index(base: &str, off: i64) -> String {
 /// same kernel, byte for byte.
 pub fn generate_kernel(seed: u64, cfg: &GenConfig) -> GeneratedKernel {
     let mut rng = SplitMix64::new(seed);
-    let flavor_pick = rng.below(7);
+    let flavor_pick = rng.below(8);
     let dims = if flavor_pick == 3 { Dims::Two } else { Dims::One };
     let mut g = Gen {
         rng,
@@ -676,9 +733,14 @@ pub fn generate_kernel(seed: u64, cfg: &GenConfig) -> GeneratedKernel {
             "arr_cond",
             vec![(2, StoreOut), (1, StoreT), (2, DeclLocal), (2, AssignLocal), (4, If)],
         ),
-        _ => (
+        6 => (
             "while_loop",
             vec![(3, StoreOut), (1, StoreT), (2, DeclLocal), (1, AssignLocal), (3, While)],
+        ),
+        _ => (
+            // depth-2 loop nests: stacked loop φs (see `Gen::deep_loop`)
+            "deep_nest",
+            vec![(2, StoreOut), (1, StoreT), (1, DeclLocal), (1, SeqLoop), (3, DeepLoop)],
         ),
     };
 
@@ -824,7 +886,7 @@ mod tests {
             assert_eq!(p1, p2, "seed {seed}: printer round-trip changed the AST");
             assert!(gk.source.contains("out"), "every kernel stores to out");
         }
-        assert_eq!(flavors.len(), 7, "200 seeds must cover all seven flavors: {flavors:?}");
+        assert_eq!(flavors.len(), 8, "200 seeds must cover all eight flavors: {flavors:?}");
     }
 
     #[test]

@@ -22,10 +22,18 @@
 //!              # simulated cycles over a harvested candidate set; output
 //!              # is byte-identical at any thread count
 //! accsat fuzz  [--cases N] [--seed S] [--threads T] [--sat-threads N]
-//!              [--json OUT.json] [--corpus DIR]
+//!              [--json OUT.json] [--corpus DIR] [--cache] [--cache-dir DIR]
 //!              # differential kernel fuzzing: random kernels through every
 //!              # variant, interpreter-checked against the original; fails
-//!              # on any divergence and writes minimized repros to --corpus
+//!              # on any divergence and writes minimized repros to --corpus;
+//!              # --cache additionally runs every case cold *and* warm
+//!              # through the stage cache and reports any divergence
+//! accsat serve [--threads N] [--cache-dir DIR] [--cache-cap N]
+//!              [--socket PATH]
+//!              # persistent optimization service: line-delimited requests
+//!              # on stdin (or a Unix socket), one JSON response per line,
+//!              # whole pipeline stages amortized across requests through
+//!              # the content-addressed cache (see DESIGN.md)
 //! ```
 //!
 //! `--sat-threads` controls the *parallel rule search inside saturation*
@@ -33,9 +41,15 @@
 //! cases). All output is byte-identical at any `--sat-threads` value; in
 //! `batch`/`tune` it defaults to `--threads` so idle workers widen into
 //! the heavy kernels, elsewhere it defaults to 1.
+//!
+//! `batch` also accepts `--cache-dir DIR` (reuse saturated e-graphs and
+//! selections across runs) and `--stable-json OUT.json` (the
+//! timing-free report CI diffs between warm and cold runs).
 
 use accsat::batch::{optimize_suite, tune_suite, ParallelConfig};
+use accsat::cache::{StageCache, DEFAULT_DISK_CAPACITY, DEFAULT_MEM_CAPACITY};
 use accsat::fuzz::{run_campaign, FuzzConfig};
+use accsat::serve::{run_session, ServeConfig};
 use accsat::{optimize_program_with, SaturatorConfig, Variant};
 use accsat_autotune::TuneConfig;
 use accsat_compilers::{Compiler, CompilerModel};
@@ -50,12 +64,15 @@ fn usage() -> ExitCode {
          \x20            [-o OUT.c] INPUT.c\n\
                 accsat batch [--suite npb|spec|all] [--threads N] [--sat-threads N]\n\
          \x20            [--variant V] [--deadline-ms D] [--extract-budget NODES]\n\
-         \x20            [--json OUT.json] [--shard I/N] [--tune]\n\
+         \x20            [--json OUT.json] [--stable-json OUT.json] [--shard I/N]\n\
+         \x20            [--cache-dir DIR] [--tune]\n\
                 accsat tune [--suite npb|spec|all] [--threads N] [--sat-threads N]\n\
          \x20            [--device pcie|sxm] [--compiler nvhpc|gcc] [--sweep H1,H2,...]\n\
          \x20            [--keep K] [--shard I/N] [--json OUT.json]\n\
                 accsat fuzz [--cases N] [--seed S] [--threads T] [--sat-threads N]\n\
-         \x20            [--json OUT.json] [--corpus DIR]"
+         \x20            [--json OUT.json] [--corpus DIR] [--cache] [--cache-dir DIR]\n\
+                accsat serve [--threads N] [--cache-dir DIR] [--cache-cap N]\n\
+         \x20            [--socket PATH]"
     );
     ExitCode::from(2)
 }
@@ -86,6 +103,8 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
     let mut variant = Variant::AccSat;
     let mut par = ParallelConfig::default();
     let mut json: Option<String> = None;
+    let mut stable_json: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut extract_budget: Option<u64> = None;
     let mut sat_threads: Option<usize> = None;
     let mut tcfg = TuneConfig::default();
@@ -142,6 +161,20 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
                 Some(path) => json = Some(path),
                 None => {
                     eprintln!("--json needs an output path");
+                    return usage();
+                }
+            },
+            "--stable-json" => match it.next() {
+                Some(path) => stable_json = Some(path),
+                None => {
+                    eprintln!("--stable-json needs an output path");
+                    return usage();
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir),
+                None => {
+                    eprintln!("--cache-dir needs a directory");
                     return usage();
                 }
             },
@@ -232,6 +265,15 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
     // grants extra threads when workers are idle, and the output is
     // byte-identical at any width either way
     config.sat_threads = sat_threads.unwrap_or(par.threads);
+    if let Some(dir) = &cache_dir {
+        match StageCache::with_dir(std::path::Path::new(dir)) {
+            Ok(c) => config.cache = Some(std::sync::Arc::new(c)),
+            Err(e) => {
+                eprintln!("accsat batch: cannot open cache dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let report = if tune_mode {
         tune_suite(&benches, variant, &config, &tcfg, &par)
     } else {
@@ -293,6 +335,14 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
             println!("report written to {path}");
         }
     }
+    if let Some(path) = stable_json {
+        // the timing-free report: byte-identical warm vs cold and at any
+        // thread count — CI diffs this file across cache states
+        if let Err(e) = std::fs::write(&path, report.to_stable_json()) {
+            eprintln!("accsat batch: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -349,6 +399,17 @@ fn fuzz_main(args: Vec<String>) -> ExitCode {
                     return usage();
                 }
             },
+            "--cache" => fc.cache_check = true,
+            "--cache-dir" => match it.next() {
+                Some(dir) => {
+                    fc.cache_check = true;
+                    fc.cache_dir = Some(std::path::PathBuf::from(dir));
+                }
+                None => {
+                    eprintln!("--cache-dir needs a directory");
+                    return usage();
+                }
+            },
             _ => {
                 eprintln!("unknown fuzz flag: {arg}");
                 return usage();
@@ -394,12 +455,104 @@ fn fuzz_main(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// `accsat serve`: the persistent optimization service. Compiles the rule
+/// set once, then answers line-delimited requests on stdin/stdout (or a
+/// Unix socket) with one JSON object per line, amortizing pipeline stages
+/// across requests through the content-addressed cache.
+fn serve_main(args: Vec<String>) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut cache_dir: Option<String> = None;
+    let mut cache_cap: Option<usize> = None;
+    let mut socket: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return usage();
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir),
+                None => {
+                    eprintln!("--cache-dir needs a directory");
+                    return usage();
+                }
+            },
+            "--cache-cap" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cache_cap = Some(n),
+                _ => {
+                    eprintln!("--cache-cap needs a positive entry count");
+                    return usage();
+                }
+            },
+            "--socket" => match it.next() {
+                Some(path) => socket = Some(path),
+                None => {
+                    eprintln!("--socket needs a path");
+                    return usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown serve flag: {arg}");
+                return usage();
+            }
+        }
+    }
+
+    let mem_cap = cache_cap.unwrap_or(DEFAULT_MEM_CAPACITY);
+    let disk_cap = cache_cap.unwrap_or(DEFAULT_DISK_CAPACITY);
+    let cache = match &cache_dir {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(dir.join("sat"))
+                .and_then(|()| std::fs::create_dir_all(dir.join("sel")))
+            {
+                eprintln!("accsat serve: cannot open cache dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            StageCache::new(Some(dir), mem_cap, disk_cap)
+        }
+        None => StageCache::new(None, mem_cap, disk_cap),
+    };
+    cfg.saturator.cache = Some(std::sync::Arc::new(cache));
+
+    let result = match socket {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                eprintln!("accsat serve: listening on {path}");
+                accsat::serve::serve_unix_socket(std::path::Path::new(&path), &cfg)
+            }
+            #[cfg(not(unix))]
+            {
+                eprintln!("accsat serve: --socket {path} requires a Unix platform");
+                return ExitCode::FAILURE;
+            }
+        }
+        // `Stdout` (not `StdoutLock`) — the session's writer thread needs
+        // a `Send` sink, and the lock guard is thread-bound
+        None => run_session(std::io::stdin().lock(), std::io::stdout(), &cfg),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("accsat serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("batch") => return batch_main(args.into_iter().skip(1).collect(), false),
         Some("tune") => return batch_main(args.into_iter().skip(1).collect(), true),
         Some("fuzz") => return fuzz_main(args.into_iter().skip(1).collect()),
+        Some("serve") => return serve_main(args.into_iter().skip(1).collect()),
         _ => {}
     }
     let mut variant = Variant::AccSat;

@@ -1,0 +1,765 @@
+//! Content-addressed stage cache: kernel source → parsed IR → saturated
+//! e-graph → certified selection, each stage keyed by a content hash.
+//!
+//! This is the amortization layer behind `accsat serve` and `--cache-dir`:
+//! a re-submitted (or cosmetically edited) kernel reuses the expensive
+//! stages instead of redoing them. Three stage levels are cached:
+//!
+//! * **parsed** — raw source bytes → parsed [`Program`] (in-memory only;
+//!   parsing is cheap, this level mostly exists so an unchanged request
+//!   never re-parses and so the service can report *some* reuse even when
+//!   the kernel-level entries were evicted).
+//! * **saturated** — kernel hash → full-fidelity serialized e-graph (see
+//!   `accsat_egraph::serialize`) plus the saturation metadata the reports
+//!   need (iterations, stop reason, per-rule stats).
+//! * **selected** — kernel+objective hash → serialized
+//!   [`Selection`](accsat_extract::Selection) plus
+//!   extraction metadata (cost, proven flag, winner, explored, bound).
+//!
+//! **Keys.** The kernel-level hash is FNV-1a over the *canonical printed
+//! IR* of the kernel body (`accsat_ir::fingerprint_block`) — comments and
+//! whitespace are already gone — mixed with every configuration value
+//! that can change the stage's output: whether the variant saturates, the
+//! saturation limits, and the rule set for the saturation key; plus the
+//! cost model, portfolio width and node budget for the selection key.
+//! Wall-clock budgets are deliberately *not* part of the keys: they are
+//! safety valves that do not bind in deterministic runs, and two runs
+//! differing only in a valve setting should share cache entries.
+//! Codegen options (`bulk_load`) are also excluded — codegen runs fresh
+//! on every request, so `CSE+SAT` and `ACCSAT` share both cached stages.
+//!
+//! **Invalidation.** There is none by design: entries are immutable values
+//! under content hashes. A format version bump (see the `v1` headers)
+//! orphans old entries, which then age out by eviction; corrupt or
+//! version-mismatched entries read as misses.
+//!
+//! **Eviction** is deterministic: FIFO by insertion order with a fixed
+//! entry capacity, both in memory and on disk (the disk index file records
+//! insertion order). No clocks, no LRU — byte-identical cache behavior
+//! for byte-identical request sequences.
+
+use crate::pipeline::{SaturatorConfig, Variant};
+use accsat_egraph::{RuleStats, StopReason};
+use accsat_ir::{fingerprint_block, fnv1a, fnv1a_mix, Block, Program};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How much of the pipeline a request reused, `Miss < Parsed < Saturated
+/// < Selected`. Reported per request in the service's stable JSON and per
+/// kernel on batch stderr; never part of the stable batch report (warm
+/// and cold runs must stay byte-identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum CacheLevel {
+    /// Nothing reused: every stage ran.
+    #[default]
+    Miss,
+    /// The parsed IR was reused (source bytes unchanged).
+    Parsed,
+    /// The saturated e-graph was restored; extraction re-ran.
+    Saturated,
+    /// Saturation *and* the certified selection were reused; only code
+    /// generation ran.
+    Selected,
+}
+
+impl CacheLevel {
+    /// Stable lowercase label used in JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheLevel::Miss => "miss",
+            CacheLevel::Parsed => "parsed",
+            CacheLevel::Saturated => "saturated",
+            CacheLevel::Selected => "selected",
+        }
+    }
+}
+
+/// Cached outcome of the saturation stage.
+#[derive(Debug, Clone)]
+pub struct SatEntry {
+    /// Serialized e-graph (`accsat_egraph::serialize` format).
+    pub egraph: String,
+    /// Saturation iterations performed.
+    pub iters: usize,
+    /// Why saturation stopped (`None` for non-saturating variants).
+    pub stop: Option<StopReason>,
+    /// Per-rule statistics of the original run.
+    pub rule_stats: Vec<RuleStats>,
+}
+
+/// Cached outcome of the extraction stage.
+#[derive(Debug, Clone)]
+pub struct SelEntry {
+    /// Serialized winning selection (`Selection::serialize` format).
+    pub selection: String,
+    /// DAG cost of the selection.
+    pub cost: u64,
+    /// Was the selection proven optimal?
+    pub proven: bool,
+    /// Winning portfolio member name.
+    pub winner: String,
+    /// Search nodes explored across the portfolio.
+    pub explored: u64,
+    /// Certified lower bound.
+    pub lower_bound: u64,
+}
+
+const SAT_HEADER: &str = "accsat-stage sat v1";
+const SEL_HEADER: &str = "accsat-stage sel v1";
+
+fn stop_token(stop: Option<StopReason>) -> &'static str {
+    match stop {
+        None => "none",
+        Some(StopReason::Saturated) => "saturated",
+        Some(StopReason::NodeLimit) => "node-limit",
+        Some(StopReason::IterLimit) => "iter-limit",
+        Some(StopReason::TimeLimit) => "time-limit",
+    }
+}
+
+fn parse_stop_token(tok: &str) -> Result<Option<StopReason>, String> {
+    Ok(match tok {
+        "none" => None,
+        "saturated" => Some(StopReason::Saturated),
+        "node-limit" => Some(StopReason::NodeLimit),
+        "iter-limit" => Some(StopReason::IterLimit),
+        "time-limit" => Some(StopReason::TimeLimit),
+        other => return Err(format!("unknown stop token {other:?}")),
+    })
+}
+
+impl SatEntry {
+    /// Serialize to the versioned cache-entry text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(SAT_HEADER);
+        out.push('\n');
+        let _ = writeln!(out, "meta {} {} {}", self.iters, stop_token(self.stop), {
+            self.rule_stats.len()
+        });
+        for r in &self.rule_stats {
+            debug_assert!(!r.name.chars().any(char::is_whitespace));
+            let _ = writeln!(
+                out,
+                "r {} {} {} {} {}",
+                r.name, r.matches, r.applied, r.times_banned, r.banned_iters
+            );
+        }
+        out.push_str("egraph\n");
+        out.push_str(&self.egraph);
+        out
+    }
+
+    /// Parse [`SatEntry::to_text`] output.
+    pub fn from_text(text: &str) -> Result<SatEntry, String> {
+        let mut rest = text;
+        let mut take_line = |what: &str| -> Result<&str, String> {
+            let nl = rest.find('\n').ok_or_else(|| format!("truncated sat entry: {what}"))?;
+            let line = &rest[..nl];
+            rest = &rest[nl + 1..];
+            Ok(line)
+        };
+        if take_line("header")? != SAT_HEADER {
+            return Err("unsupported sat entry format".into());
+        }
+        let meta = take_line("meta")?.to_string();
+        let mut toks = meta.split_whitespace();
+        let mut next = || toks.next().ok_or("truncated sat meta");
+        if next()? != "meta" {
+            return Err("bad sat meta line".into());
+        }
+        let iters: usize = next()?.parse().map_err(|e| format!("bad iters: {e}"))?;
+        let stop = parse_stop_token(next()?)?;
+        let n_rules: usize = next()?.parse().map_err(|e| format!("bad rule count: {e}"))?;
+        let mut rule_stats = Vec::with_capacity(n_rules);
+        for _ in 0..n_rules {
+            let line = take_line("rule stats")?;
+            let mut toks = line.split_whitespace();
+            let mut next = || toks.next().ok_or_else(|| format!("truncated rule line {line:?}"));
+            if next()? != "r" {
+                return Err(format!("bad rule line {line:?}"));
+            }
+            let name = next()?.to_string();
+            let mut num = |what: &str| -> Result<usize, String> {
+                next()?.parse().map_err(|e| format!("bad {what}: {e}"))
+            };
+            rule_stats.push(RuleStats {
+                name,
+                matches: num("matches")?,
+                applied: num("applied")?,
+                times_banned: num("times_banned")?,
+                banned_iters: num("banned_iters")?,
+            });
+        }
+        if take_line("egraph marker")? != "egraph" {
+            return Err("missing egraph marker".into());
+        }
+        Ok(SatEntry { egraph: rest.to_string(), iters, stop, rule_stats })
+    }
+}
+
+impl SelEntry {
+    /// Serialize to the versioned cache-entry text format.
+    pub fn to_text(&self) -> String {
+        debug_assert!(!self.winner.chars().any(char::is_whitespace));
+        let mut out = String::new();
+        out.push_str(SEL_HEADER);
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "meta {} {} {} {} {}",
+            self.cost,
+            u8::from(self.proven),
+            self.explored,
+            self.lower_bound,
+            self.winner
+        );
+        out.push_str("selection\n");
+        out.push_str(&self.selection);
+        out
+    }
+
+    /// Parse [`SelEntry::to_text`] output.
+    pub fn from_text(text: &str) -> Result<SelEntry, String> {
+        let mut lines = text.splitn(3, '\n');
+        let header = lines.next().ok_or("empty sel entry")?;
+        if header != SEL_HEADER {
+            return Err("unsupported sel entry format".into());
+        }
+        let meta = lines.next().ok_or("truncated sel entry")?;
+        let rest = lines.next().ok_or("truncated sel entry")?;
+        let mut toks = meta.split_whitespace();
+        let mut next = || toks.next().ok_or("truncated sel meta");
+        if next()? != "meta" {
+            return Err("bad sel meta line".into());
+        }
+        let cost: u64 = next()?.parse().map_err(|e| format!("bad cost: {e}"))?;
+        let proven = match next()? {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("bad proven flag {other:?}")),
+        };
+        let explored: u64 = next()?.parse().map_err(|e| format!("bad explored: {e}"))?;
+        let lower_bound: u64 = next()?.parse().map_err(|e| format!("bad bound: {e}"))?;
+        let winner = next()?.to_string();
+        let selection =
+            rest.strip_prefix("selection\n").ok_or("missing selection marker")?.to_string();
+        Ok(SelEntry { selection, cost, proven, winner, explored, lower_bound })
+    }
+}
+
+/// Hash key of the saturation stage for one kernel body under a variant
+/// and configuration. See the module docs for what is (and is not) mixed
+/// into the key.
+pub fn sat_stage_key(body: &Block, variant: Variant, config: &SaturatorConfig) -> u64 {
+    let mut h = fnv1a(b"accsat-sat-key v1");
+    h = fnv1a_mix(h, fingerprint_block(body));
+    h = fnv1a_mix(h, u64::from(variant.saturates()));
+    h = fnv1a_mix(h, config.limits.node_limit as u64);
+    h = fnv1a_mix(h, config.limits.iter_limit as u64);
+    h = fnv1a_mix(h, config.rules.len() as u64);
+    for r in config.rules.iter() {
+        h = fnv1a_mix(h, fnv1a(r.name.as_bytes()));
+    }
+    h
+}
+
+/// Hash key of the extraction stage: the saturation key plus everything
+/// the objective depends on (cost model, portfolio width, node budget).
+pub fn sel_stage_key(body: &Block, variant: Variant, config: &SaturatorConfig) -> u64 {
+    let mut h = sat_stage_key(body, variant, config);
+    h = fnv1a_mix(h, fnv1a(b"accsat-sel-key v1"));
+    let cm = &config.cost_model;
+    for w in [cm.constant, cm.variable, cm.operation, cm.heavy] {
+        h = fnv1a_mix(h, w);
+    }
+    h = fnv1a_mix(h, config.extraction_node_budget);
+    h = fnv1a_mix(h, config.extraction_threads as u64);
+    h
+}
+
+/// Hit/miss/eviction counters, per stage level (a snapshot from
+/// [`StageCache::stats`]). Counters are cumulative over the cache's
+/// lifetime and deterministic for a deterministic request sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Parsed-level hits.
+    pub parsed_hits: u64,
+    /// Parsed-level misses.
+    pub parsed_misses: u64,
+    /// Saturated-level hits.
+    pub sat_hits: u64,
+    /// Saturated-level misses.
+    pub sat_misses: u64,
+    /// Selected-level hits.
+    pub sel_hits: u64,
+    /// Selected-level misses.
+    pub sel_misses: u64,
+    /// Entries evicted (all levels, memory + disk).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Render as a stable single-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"parsed_hits\":{},\"parsed_misses\":{},\"sat_hits\":{},",
+                "\"sat_misses\":{},\"sel_hits\":{},\"sel_misses\":{},\"evictions\":{}}}"
+            ),
+            self.parsed_hits,
+            self.parsed_misses,
+            self.sat_hits,
+            self.sat_misses,
+            self.sel_hits,
+            self.sel_misses,
+            self.evictions
+        )
+    }
+}
+
+/// One FIFO-evicted text shelf (sat or sel level).
+struct Shelf {
+    map: HashMap<u64, Arc<String>>,
+    order: VecDeque<u64>,
+}
+
+impl Shelf {
+    fn new() -> Shelf {
+        Shelf { map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    /// Insert; returns how many entries were evicted.
+    fn insert(&mut self, key: u64, text: Arc<String>, capacity: usize) -> u64 {
+        if self.map.insert(key, text).is_none() {
+            self.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while self.order.len() > capacity {
+            let old = self.order.pop_front().expect("non-empty order queue");
+            if self.map.remove(&old).is_some() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// FIFO shelf for parsed programs — the same discipline as [`Shelf`],
+/// holding [`Program`]s instead of serialized text (the parsed stage is
+/// memory-only).
+struct ParsedShelf {
+    map: HashMap<u64, Arc<Program>>,
+    order: VecDeque<u64>,
+}
+
+/// The in-memory + on-disk stage store. Cheap to share: wrap in an [`Arc`]
+/// and clone the handle into every worker / request (all interior state is
+/// mutex-guarded).
+pub struct StageCache {
+    dir: Option<PathBuf>,
+    mem_capacity: usize,
+    disk_capacity: usize,
+    parsed: Mutex<ParsedShelf>,
+    sat: Mutex<Shelf>,
+    sel: Mutex<Shelf>,
+    stats: Mutex<CacheStats>,
+    /// Selection-stage keys currently being computed, for single-flight
+    /// request coalescing (see [`StageCache::single_flight`]).
+    in_flight: Mutex<HashSet<u64>>,
+    in_flight_done: Condvar,
+}
+
+impl std::fmt::Debug for StageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageCache")
+            .field("dir", &self.dir)
+            .field("mem_capacity", &self.mem_capacity)
+            .field("disk_capacity", &self.disk_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default in-memory entry capacity per stage level.
+pub const DEFAULT_MEM_CAPACITY: usize = 512;
+/// Default on-disk entry capacity per stage level.
+pub const DEFAULT_DISK_CAPACITY: usize = 4096;
+
+impl StageCache {
+    /// In-memory-only cache with default capacities.
+    pub fn in_memory() -> StageCache {
+        StageCache::new(None, DEFAULT_MEM_CAPACITY, DEFAULT_DISK_CAPACITY)
+    }
+
+    /// Cache backed by `dir` (created if missing) with default capacities.
+    pub fn with_dir(dir: &Path) -> std::io::Result<StageCache> {
+        std::fs::create_dir_all(dir.join("sat"))?;
+        std::fs::create_dir_all(dir.join("sel"))?;
+        Ok(StageCache::new(Some(dir.to_path_buf()), DEFAULT_MEM_CAPACITY, DEFAULT_DISK_CAPACITY))
+    }
+
+    /// Fully explicit constructor (capacities are entries per level).
+    pub fn new(dir: Option<PathBuf>, mem_capacity: usize, disk_capacity: usize) -> StageCache {
+        StageCache {
+            dir,
+            mem_capacity: mem_capacity.max(1),
+            disk_capacity: disk_capacity.max(1),
+            parsed: Mutex::new(ParsedShelf { map: HashMap::new(), order: VecDeque::new() }),
+            sat: Mutex::new(Shelf::new()),
+            sel: Mutex::new(Shelf::new()),
+            stats: Mutex::new(CacheStats::default()),
+            in_flight: Mutex::new(HashSet::new()),
+            in_flight_done: Condvar::new(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("cache stats lock")
+    }
+
+    /// Claim `key` for computation, blocking while another thread holds
+    /// it. Concurrent requests for the same kernel thus coalesce: the
+    /// first computes and populates the cache, the rest wait and then hit
+    /// — deterministic cache levels instead of thundering-herd misses.
+    pub fn single_flight(&self, key: u64) -> FlightGuard<'_> {
+        let mut set = self.in_flight.lock().expect("in-flight lock");
+        while set.contains(&key) {
+            set = self.in_flight_done.wait(set).expect("in-flight wait");
+        }
+        set.insert(key);
+        FlightGuard { cache: self, key }
+    }
+
+    /// Look up a parsed program by source hash.
+    pub fn get_parsed(&self, src_hash: u64) -> Option<Arc<Program>> {
+        let got = self.parsed.lock().expect("parsed lock").map.get(&src_hash).cloned();
+        let mut stats = self.stats.lock().expect("cache stats lock");
+        match got {
+            Some(p) => {
+                stats.parsed_hits += 1;
+                Some(p)
+            }
+            None => {
+                stats.parsed_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a parsed program under its source hash (in-memory only).
+    pub fn put_parsed(&self, src_hash: u64, prog: Arc<Program>) {
+        let mut guard = self.parsed.lock().expect("parsed lock");
+        let ParsedShelf { map, order } = &mut *guard;
+        if map.insert(src_hash, prog).is_none() {
+            order.push_back(src_hash);
+        }
+        let mut evicted = 0;
+        while order.len() > self.mem_capacity {
+            let old = order.pop_front().expect("non-empty parsed queue");
+            if map.remove(&old).is_some() {
+                evicted += 1;
+            }
+        }
+        drop(guard);
+        if evicted > 0 {
+            self.stats.lock().expect("cache stats lock").evictions += evicted;
+        }
+    }
+
+    /// Look up a saturation-stage entry.
+    pub fn get_sat(&self, key: u64) -> Option<SatEntry> {
+        self.get_entry(&self.sat, "sat", key).and_then(|t| SatEntry::from_text(&t).ok())
+    }
+
+    /// Store a saturation-stage entry.
+    pub fn put_sat(&self, key: u64, entry: &SatEntry) {
+        self.put_entry(&self.sat, "sat", key, entry.to_text());
+    }
+
+    /// Look up an extraction-stage entry.
+    pub fn get_sel(&self, key: u64) -> Option<SelEntry> {
+        self.get_entry(&self.sel, "sel", key).and_then(|t| SelEntry::from_text(&t).ok())
+    }
+
+    /// Store an extraction-stage entry.
+    pub fn put_sel(&self, key: u64, entry: &SelEntry) {
+        self.put_entry(&self.sel, "sel", key, entry.to_text());
+    }
+
+    fn count(&self, level: &str, hit: bool) {
+        let mut stats = self.stats.lock().expect("cache stats lock");
+        match (level, hit) {
+            ("sat", true) => stats.sat_hits += 1,
+            ("sat", false) => stats.sat_misses += 1,
+            ("sel", true) => stats.sel_hits += 1,
+            ("sel", false) => stats.sel_misses += 1,
+            _ => unreachable!("unknown cache level {level}"),
+        }
+    }
+
+    fn get_entry(&self, shelf: &Mutex<Shelf>, level: &str, key: u64) -> Option<Arc<String>> {
+        if let Some(text) = shelf.lock().expect("shelf lock").map.get(&key).cloned() {
+            self.count(level, true);
+            return Some(text);
+        }
+        // disk fallback; promote into memory on success
+        if let Some(dir) = &self.dir {
+            if let Ok(text) = std::fs::read_to_string(entry_path(dir, level, key)) {
+                let text = Arc::new(text);
+                let evicted =
+                    shelf.lock().expect("shelf lock").insert(key, text.clone(), self.mem_capacity);
+                self.count(level, true);
+                if evicted > 0 {
+                    self.stats.lock().expect("cache stats lock").evictions += evicted;
+                }
+                return Some(text);
+            }
+        }
+        self.count(level, false);
+        None
+    }
+
+    fn put_entry(&self, shelf: &Mutex<Shelf>, level: &str, key: u64, text: String) {
+        let text = Arc::new(text);
+        let mut evicted =
+            shelf.lock().expect("shelf lock").insert(key, text.clone(), self.mem_capacity);
+        if let Some(dir) = &self.dir {
+            evicted += self.write_disk(dir, level, key, &text).unwrap_or(0);
+        }
+        if evicted > 0 {
+            self.stats.lock().expect("cache stats lock").evictions += evicted;
+        }
+    }
+
+    /// Write one entry to disk and FIFO-evict by the index file. Index
+    /// mutations happen under the shelf-level file lock surrogate (the
+    /// whole method is only called with the shelf mutex released, so the
+    /// in-process writers serialize on the stats mutex-free path via the
+    /// per-level index mutex below). Failures are swallowed: the disk
+    /// layer is an optimization, never a correctness dependency.
+    fn write_disk(&self, dir: &Path, level: &str, key: u64, text: &str) -> Option<u64> {
+        // serialize disk index updates through the in-flight mutex's
+        // sibling: reuse the shelf mutex would deadlock promotion, so take
+        // a dedicated critical section on the stats mutex? No — keep it
+        // simple: a per-process global disk lock.
+        static DISK_LOCK: Mutex<()> = Mutex::new(());
+        let _disk = DISK_LOCK.lock().expect("disk lock");
+        let path = entry_path(dir, level, key);
+        if path.exists() {
+            return Some(0);
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, text).ok()?;
+        std::fs::rename(&tmp, &path).ok()?;
+        // maintain the insertion-order index and evict beyond capacity
+        let index = dir.join(level).join("index");
+        let mut keys: Vec<u64> = std::fs::read_to_string(&index)
+            .unwrap_or_default()
+            .lines()
+            .filter_map(|l| u64::from_str_radix(l.trim(), 16).ok())
+            .collect();
+        keys.push(key);
+        let mut evicted = 0;
+        while keys.len() > self.disk_capacity {
+            let old = keys.remove(0);
+            let _ = std::fs::remove_file(entry_path(dir, level, old));
+            evicted += 1;
+        }
+        let body: String = keys.iter().map(|k| format!("{k:016x}\n")).collect();
+        let tmp = index.with_extension("tmp");
+        std::fs::write(&tmp, body).ok()?;
+        std::fs::rename(&tmp, &index).ok()?;
+        Some(evicted)
+    }
+}
+
+fn entry_path(dir: &Path, level: &str, key: u64) -> PathBuf {
+    dir.join(level).join(format!("{key:016x}.entry"))
+}
+
+/// RAII claim from [`StageCache::single_flight`]; releases the key and
+/// wakes waiters on drop.
+pub struct FlightGuard<'a> {
+    cache: &'a StageCache,
+    key: u64,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut set = self.cache.in_flight.lock().expect("in-flight lock");
+        set.remove(&self.key);
+        drop(set);
+        self.cache.in_flight_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accsat_ir::parse_program;
+
+    const KERNEL: &str = r#"
+void k(double a[16], double out[16], double c0) {
+  #pragma acc parallel loop gang vector
+  for (int i = 1; i < 15; i++) {
+    out[i] = a[i] * c0 + a[i - 1];
+  }
+}
+"#;
+
+    fn body() -> Block {
+        parse_program(KERNEL).unwrap().functions[0].body.clone()
+    }
+
+    #[test]
+    fn stage_keys_separate_config_axes() {
+        let b = body();
+        let base = SaturatorConfig::default();
+        let sat0 = sat_stage_key(&b, Variant::AccSat, &base);
+        let sel0 = sel_stage_key(&b, Variant::AccSat, &base);
+        // saturating variants share keys; non-saturating ones do not
+        assert_eq!(sat_stage_key(&b, Variant::CseSat, &base), sat0);
+        assert_ne!(sat_stage_key(&b, Variant::Cse, &base), sat0);
+        assert_eq!(sat_stage_key(&b, Variant::CseBulk, &base), {
+            sat_stage_key(&b, Variant::Cse, &base)
+        });
+        // objective changes move the selection key but not the sat key
+        let mut heavy = base.clone();
+        heavy.cost_model = accsat_extract::CostModel::with_heavy(1000);
+        assert_eq!(sat_stage_key(&b, Variant::AccSat, &heavy), sat0);
+        assert_ne!(sel_stage_key(&b, Variant::AccSat, &heavy), sel0);
+        // saturation-limit changes move both
+        let mut deeper = base.clone();
+        deeper.limits.iter_limit = 3;
+        assert_ne!(sat_stage_key(&b, Variant::AccSat, &deeper), sat0);
+        // wall-clock budgets are excluded on purpose
+        let mut valve = base.clone();
+        valve.extraction_budget = std::time::Duration::from_secs(99);
+        valve.limits.time_limit = std::time::Duration::from_secs(99);
+        assert_eq!(sat_stage_key(&b, Variant::AccSat, &valve), sat0);
+        assert_eq!(sel_stage_key(&b, Variant::AccSat, &valve), sel0);
+    }
+
+    #[test]
+    fn entries_round_trip_and_reject_corruption() {
+        let sat = SatEntry {
+            egraph: "accsat-egraph v1\nfake body\n".into(),
+            iters: 3,
+            stop: Some(StopReason::Saturated),
+            rule_stats: vec![RuleStats {
+                name: "COMM-ADD".into(),
+                matches: 10,
+                applied: 4,
+                times_banned: 1,
+                banned_iters: 2,
+            }],
+        };
+        let back = SatEntry::from_text(&sat.to_text()).unwrap();
+        assert_eq!(back.iters, 3);
+        assert_eq!(back.stop, Some(StopReason::Saturated));
+        assert_eq!(back.rule_stats.len(), 1);
+        assert_eq!(back.rule_stats[0].name, "COMM-ADD");
+        assert_eq!(back.egraph, sat.egraph);
+        assert!(SatEntry::from_text("bogus\n").is_err());
+
+        let sel = SelEntry {
+            selection: "accsat-selection v1 0\nend\n".into(),
+            cost: 120,
+            proven: true,
+            winner: "greedy".into(),
+            explored: 7,
+            lower_bound: 120,
+        };
+        let back = SelEntry::from_text(&sel.to_text()).unwrap();
+        assert_eq!((back.cost, back.proven, back.explored, back.lower_bound), (120, true, 7, 120));
+        assert_eq!(back.winner, "greedy");
+        assert_eq!(back.selection, sel.selection);
+        assert!(SelEntry::from_text("bogus\n").is_err());
+    }
+
+    #[test]
+    fn fifo_eviction_is_deterministic() {
+        let cache = StageCache::new(None, 2, 2);
+        let entry = |i: u64| SelEntry {
+            selection: format!("accsat-selection v1 0\nend\n# {i}"),
+            cost: i,
+            proven: false,
+            winner: "greedy".into(),
+            explored: 0,
+            lower_bound: 0,
+        };
+        cache.put_sel(1, &entry(1));
+        cache.put_sel(2, &entry(2));
+        cache.put_sel(3, &entry(3)); // evicts key 1
+        assert!(cache.get_sel(1).is_none());
+        assert_eq!(cache.get_sel(2).unwrap().cost, 2);
+        assert_eq!(cache.get_sel(3).unwrap().cost, 3);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.sel_hits, 2);
+        assert_eq!(stats.sel_misses, 1);
+    }
+
+    #[test]
+    fn disk_store_persists_across_cache_instances() {
+        let dir = std::env::temp_dir().join(format!("accsat-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = StageCache::with_dir(&dir).unwrap();
+            cache.put_sel(
+                42,
+                &SelEntry {
+                    selection: "accsat-selection v1 0\nend\n".into(),
+                    cost: 9,
+                    proven: true,
+                    winner: "refine".into(),
+                    explored: 1,
+                    lower_bound: 9,
+                },
+            );
+        }
+        let cache = StageCache::with_dir(&dir).unwrap();
+        let entry = cache.get_sel(42).expect("disk entry must survive the process boundary");
+        assert_eq!(entry.cost, 9);
+        assert_eq!(entry.winner, "refine");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_computations() {
+        let cache = Arc::new(StageCache::in_memory());
+        let started = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = cache.clone();
+                let started = started.clone();
+                scope.spawn(move || {
+                    let _flight = cache.single_flight(7);
+                    if cache.get_sel(7).is_none() {
+                        started.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        cache.put_sel(
+                            7,
+                            &SelEntry {
+                                selection: "accsat-selection v1 0\nend\n".into(),
+                                cost: 1,
+                                proven: false,
+                                winner: "greedy".into(),
+                                explored: 0,
+                                lower_bound: 1,
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            started.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "only the first request computes; the rest coalesce"
+        );
+    }
+}

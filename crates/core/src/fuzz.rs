@@ -15,6 +15,10 @@
 //!    not exceed the cost, the selection must be acyclic and total over
 //!    the extraction roots ([`Selection::try_reachable`]), and the
 //!    optimized source must survive a printer round-trip.
+//! 3. **Cache oracle** (opt-in, [`FuzzConfig::cache_check`] / `--cache`) —
+//!    the pipeline runs cold then warm through a content-addressed stage
+//!    cache; the warm run must be byte-identical and hit the `selected`
+//!    level (`cache-divergence` / `cache-level` findings otherwise).
 //!
 //! Campaigns are deterministic: per-case seeds derive from the campaign
 //! seed and the case index alone, workers write pre-allocated result
@@ -69,6 +73,18 @@ pub struct FuzzConfig {
     pub fuel: u64,
     /// Cap on minimizer pipeline re-runs per failing case.
     pub max_shrink_attempts: usize,
+    /// Run the **cache oracle**: each variant additionally goes through
+    /// the pipeline twice with a stage cache — cold populating, warm
+    /// reading — and any byte difference between the two outputs (or a
+    /// warm run that fails to reach the `selected` level) is a finding
+    /// (`cache-divergence` / `cache-level`). Off by default: it triples
+    /// per-case pipeline work.
+    pub cache_check: bool,
+    /// Directory for the cache oracle's store. `None` (default) gives
+    /// every case a fresh in-memory cache, which keeps findings
+    /// independent of case execution order; a directory additionally
+    /// exercises the disk round-trip, sharing entries across cases.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for FuzzConfig {
@@ -88,6 +104,8 @@ impl Default for FuzzConfig {
             abs_tol: 1e-5,
             fuel: 100_000,
             max_shrink_attempts: 300,
+            cache_check: false,
+            cache_dir: None,
         }
     }
 }
@@ -359,8 +377,91 @@ pub fn check_kernel(
                 }
             }
         }
+        // cache oracle: cold vs warm through the stage cache
+        if fc.cache_check {
+            findings.extend(check_cache(f, variant, fc));
+        }
     }
     Ok(findings)
+}
+
+/// The cache oracle: run the *real* pipeline (`pipeline::optimize_function`,
+/// not the fuzz-internal staged checker) twice through a stage cache. The
+/// cold run populates every level; the warm run must (a) print
+/// byte-identically, (b) agree on every stable statistic, and (c) hit the
+/// `selected` level on every kernel. Any violation is a new failure kind
+/// in the invariant taxonomy: `cache-divergence` for output/stat drift,
+/// `cache-level` for a warm run that recomputed a stage it should have
+/// reused.
+fn check_cache(f: &Function, variant: Variant, fc: &FuzzConfig) -> Vec<Finding> {
+    use crate::cache::{CacheLevel, StageCache};
+    use crate::pipeline::optimize_function;
+
+    let mut findings = Vec::new();
+    let mut diverged = |invariant: &'static str, detail: String| {
+        findings.push(Finding { variant: variant.label(), invariant, detail });
+    };
+    let cache = match &fc.cache_dir {
+        Some(dir) => match StageCache::with_dir(dir) {
+            Ok(c) => std::sync::Arc::new(c),
+            Err(e) => {
+                diverged("cache-divergence", format!("cannot open cache dir: {e}"));
+                return findings;
+            }
+        },
+        None => std::sync::Arc::new(StageCache::in_memory()),
+    };
+    let mut cfg = fc.saturator.clone();
+    cfg.cache = Some(cache);
+    let runs = (optimize_function(f, variant, &cfg), optimize_function(f, variant, &cfg));
+    let ((cold_f, cold_s), (warm_f, warm_s)) = match runs {
+        (Ok(c), Ok(w)) => (c, w),
+        (Err(e), _) => {
+            diverged("cache-divergence", format!("cold pipeline error: {e}"));
+            return findings;
+        }
+        (_, Err(e)) => {
+            diverged("cache-divergence", format!("warm pipeline error: {e}"));
+            return findings;
+        }
+    };
+    let cold_text = print_program(&Program { functions: vec![cold_f] });
+    let warm_text = print_program(&Program { functions: vec![warm_f] });
+    if cold_text != warm_text {
+        diverged("cache-divergence", "warm output is not byte-identical to cold".into());
+    }
+    // every stable (non-wall-clock) statistic must agree
+    let stable = |ss: &[crate::pipeline::OptStats]| -> Vec<_> {
+        ss.iter()
+            .map(|s| {
+                (
+                    s.extracted_cost,
+                    s.extraction_proven,
+                    s.extraction_winner,
+                    s.extraction_explored,
+                    s.extraction_lower_bound,
+                    s.egraph_nodes,
+                    s.saturation_iters,
+                    s.stop_reason,
+                    s.rule_stats.clone(),
+                )
+            })
+            .collect()
+    };
+    if stable(&cold_s) != stable(&warm_s) {
+        diverged("cache-divergence", "warm statistics differ from cold".into());
+    }
+    for (i, s) in warm_s.iter().enumerate() {
+        if s.cache_level != CacheLevel::Selected {
+            diverged(
+                "cache-level",
+                format!("warm kernel {i} reused only `{}`, expected `selected`", {
+                    s.cache_level.label()
+                }),
+            );
+        }
+    }
+    findings
 }
 
 /// Resolve a variant label recorded in a [`Finding`] back to the variant.

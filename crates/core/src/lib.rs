@@ -36,13 +36,18 @@
 //! [`Variant::AccSat`]; [`Variant::Original`] passes code through untouched.
 
 pub mod batch;
+pub mod cache;
 pub mod evaluate;
 pub mod fuzz;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 
 pub use batch::{
     optimize_suite, tune_suite, BatchReport, BenchmarkRecord, FunctionRecord, ParallelConfig,
+};
+pub use cache::{
+    sat_stage_key, sel_stage_key, CacheLevel, CacheStats, SatEntry, SelEntry, StageCache,
 };
 pub use evaluate::{evaluate_benchmark, speedup, BenchmarkResult, KernelResult};
 pub use fuzz::{
@@ -54,6 +59,7 @@ pub use pipeline::{
     SaturatorConfig, Variant,
 };
 pub use report::{format_speedup_row, render_table};
+pub use serve::{optimize_source, run_session, ServeConfig};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

@@ -1,12 +1,15 @@
 //! The ACC Saturator pipeline: SSA → e-graph → saturation → extraction →
 //! code generation, per innermost parallel loop.
 
+use crate::cache::{sat_stage_key, sel_stage_key, CacheLevel, SatEntry, SelEntry, StageCache};
 use accsat_autotune::{tune_kernel, KernelTuning, TuneConfig};
 use accsat_codegen::{generate, CodegenOptions, TypeMap};
 use accsat_egraph::{
-    all_rules, Rewrite, RuleStats, Runner, RunnerLimits, StopReason, ThreadBudget,
+    all_rules, EGraph, Rewrite, RuleStats, Runner, RunnerLimits, StopReason, ThreadBudget,
 };
-use accsat_extract::{extract_portfolio_budgeted, CostModel, PortfolioConfig};
+use accsat_extract::{
+    extract_portfolio_budgeted, intern_strategy, CostModel, PortfolioConfig, Selection,
+};
 use accsat_ir::{Block, Function, Program, Stmt};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -88,6 +91,12 @@ pub struct SaturatorConfig {
     /// threads from here instead of spawning unconditionally; `None`
     /// (standalone runs) spawns up to the configured widths outright.
     pub thread_budget: Option<Arc<ThreadBudget>>,
+    /// Content-addressed stage cache (see [`crate::cache`]). When set,
+    /// the pipeline consults it before saturation and extraction and
+    /// populates it after; `None` (the default) runs every stage cold.
+    /// Cached and cold runs produce byte-identical output — the cache is
+    /// a wall-clock optimization, never an observable one.
+    pub cache: Option<Arc<StageCache>>,
 }
 
 impl Default for SaturatorConfig {
@@ -105,6 +114,7 @@ impl Default for SaturatorConfig {
             rules: Arc::new(all_rules()),
             sat_threads: 1,
             thread_budget: None,
+            cache: None,
         }
     }
 }
@@ -151,6 +161,11 @@ pub struct OptStats {
     /// the simulation-guided tuner ([`tune_function`]); `None` for plain
     /// static-cost extraction.
     pub tuning: Option<KernelTuning>,
+    /// How much of this kernel's pipeline came from the stage cache
+    /// (`Miss` when no cache is configured). Deliberately excluded from
+    /// the stable batch report: warm and cold runs must stay
+    /// byte-identical there.
+    pub cache_level: CacheLevel,
 }
 
 impl OptStats {
@@ -271,6 +286,9 @@ fn tune_kernel_body(
         extraction_explored: 0,
         extraction_lower_bound: tuned.tuning.lower_bound,
         tuning: Some(tuned.tuning),
+        // tune mode ranks by *simulated cycles*, an objective the stage
+        // cache does not key — it always runs cold
+        cache_level: CacheLevel::Miss,
     };
     Ok((tuned.body, stats))
 }
@@ -356,6 +374,106 @@ fn portfolio_config(config: &SaturatorConfig) -> PortfolioConfig {
     }
 }
 
+/// Cache-aware saturation stage: restore the e-graph from a cached
+/// snapshot when possible, otherwise run [`saturate_body`] and populate
+/// the cache. SSA construction always re-runs — it is deterministic and
+/// cheap, and the restored e-graph is swapped in over the fresh one (the
+/// class ids of the assignment roots are identical by construction: the
+/// snapshot was taken from an e-graph built by the very same SSA walk).
+fn saturate_stage(
+    body: &Block,
+    variant: Variant,
+    config: &SaturatorConfig,
+) -> (Saturated, CacheLevel) {
+    let Some(cache) = config.cache.as_deref() else {
+        return (saturate_body(body, variant, config), CacheLevel::Miss);
+    };
+    let key = sat_stage_key(body, variant, config);
+    if let Some(entry) = cache.get_sat(key) {
+        if let Ok(eg) = EGraph::deserialize(&entry.egraph) {
+            let t0 = Instant::now();
+            let mut kernel = accsat_ssa::build_kernel(body);
+            let ssa_time = t0.elapsed();
+            let t1 = Instant::now();
+            kernel.egraph = eg;
+            return (
+                Saturated {
+                    kernel,
+                    ssa_time,
+                    sat_time: t1.elapsed(),
+                    iters: entry.iters,
+                    stop: entry.stop,
+                    rule_stats: entry.rule_stats,
+                },
+                CacheLevel::Saturated,
+            );
+        }
+        // corrupt snapshot: fall through and overwrite it below
+    }
+    let sat = saturate_body(body, variant, config);
+    cache.put_sat(
+        key,
+        &SatEntry {
+            egraph: sat.kernel.egraph.serialize(),
+            iters: sat.iters,
+            stop: sat.stop,
+            rule_stats: sat.rule_stats.clone(),
+        },
+    );
+    (sat, CacheLevel::Miss)
+}
+
+/// Try to answer a kernel entirely from the `selected` cache level: both
+/// the saturated e-graph snapshot and the certified selection must be
+/// present and intact (a selection without its e-graph cannot be lowered,
+/// so a partial hit falls back to the lower levels).
+fn try_selected_hit(
+    body: &Block,
+    variant: Variant,
+    config: &SaturatorConfig,
+    tm: &TypeMap,
+    fname: &str,
+    sat_key: u64,
+    sel_key: u64,
+) -> Option<(Block, OptStats)> {
+    let cache = config.cache.as_deref()?;
+    let sel_entry = cache.get_sel(sel_key)?;
+    let sat_entry = cache.get_sat(sat_key)?;
+    let eg = EGraph::deserialize(&sat_entry.egraph).ok()?;
+    let selection = Selection::deserialize(&sel_entry.selection).ok()?;
+    // winner names are interned `&'static str`s in the live pipeline;
+    // an unknown name means a stale/corrupt entry — treat as a miss
+    let winner = intern_strategy(&sel_entry.winner)?;
+
+    let t0 = Instant::now();
+    let mut kernel = accsat_ssa::build_kernel(body);
+    kernel.egraph = eg;
+    let opts = CodegenOptions { bulk_load: variant.bulk_loads() };
+    let new_body = generate(&kernel, &selection, tm, &opts);
+    let codegen_time = t0.elapsed();
+
+    Some((
+        new_body,
+        OptStats {
+            function: fname.to_string(),
+            ssa_codegen: codegen_time,
+            saturation: Duration::ZERO,
+            extraction: Duration::ZERO,
+            egraph_nodes: kernel.egraph.total_nodes(),
+            saturation_iters: sat_entry.iters,
+            stop_reason: sat_entry.stop,
+            rule_stats: sat_entry.rule_stats,
+            extracted_cost: sel_entry.cost,
+            extraction_proven: sel_entry.proven,
+            extraction_winner: winner,
+            extraction_explored: sel_entry.explored,
+            extraction_lower_bound: sel_entry.lower_bound,
+            tuning: None,
+            cache_level: CacheLevel::Selected,
+        },
+    ))
+}
+
 /// Run the e-graph pipeline on one kernel body.
 pub fn optimize_kernel_body(
     body: &Block,
@@ -364,7 +482,24 @@ pub fn optimize_kernel_body(
     tm: &TypeMap,
     fname: &str,
 ) -> Result<(Block, OptStats), String> {
-    let sat = saturate_body(body, variant, config);
+    // With a cache configured, claim the kernel's selection key first so
+    // concurrent identical requests coalesce (the first computes, the
+    // rest wait and hit), then try the deepest cached level.
+    let keys = config
+        .cache
+        .as_deref()
+        .map(|_| (sat_stage_key(body, variant, config), sel_stage_key(body, variant, config)));
+    let _flight = match (&config.cache, keys) {
+        (Some(c), Some((_, sel_key))) => Some(c.single_flight(sel_key)),
+        _ => None,
+    };
+    if let Some((sat_key, sel_key)) = keys {
+        if let Some(hit) = try_selected_hit(body, variant, config, tm, fname, sat_key, sel_key) {
+            return Ok(hit);
+        }
+    }
+
+    let (sat, cache_level) = saturate_stage(body, variant, config);
     let Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats } = sat;
 
     // 3. extraction (LP objective, step ② part II) — a portfolio of
@@ -383,6 +518,20 @@ pub fn optimize_kernel_body(
     let cost = extraction.cost;
     let extract_time = t2.elapsed();
     let selection = extraction.selection;
+
+    if let (Some(cache), Some((_, sel_key))) = (config.cache.as_deref(), keys) {
+        cache.put_sel(
+            sel_key,
+            &SelEntry {
+                selection: selection.serialize(),
+                cost,
+                proven: extraction.proven_optimal,
+                winner: extraction.winner.to_string(),
+                explored: extraction.workers.iter().map(|w| w.explored).sum(),
+                lower_bound: extraction.lower_bound,
+            },
+        );
+    }
 
     // 4. code generation (step ③)
     let t3 = Instant::now();
@@ -407,6 +556,7 @@ pub fn optimize_kernel_body(
             extraction_explored: extraction.workers.iter().map(|w| w.explored).sum(),
             extraction_lower_bound: extraction.lower_bound,
             tuning: None,
+            cache_level,
         },
     ))
 }

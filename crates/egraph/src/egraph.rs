@@ -22,25 +22,28 @@ pub struct EClass {
 /// The e-graph.
 #[derive(Debug, Clone, Default)]
 pub struct EGraph {
-    unionfind: UnionFind,
+    // Fields are `pub(crate)` (not `pub`) so the serializer in
+    // `crate::serialize` can dump and restore the exact internal state —
+    // external code still goes through the method API.
+    pub(crate) unionfind: UnionFind,
     /// Canonical-node → class memo (hash-consing).
-    memo: FxHashMap<Node, Id>,
+    pub(crate) memo: FxHashMap<Node, Id>,
     /// Class storage, indexed by canonical id; `None` after being merged away.
-    classes: Vec<Option<EClass>>,
+    pub(crate) classes: Vec<Option<EClass>>,
     /// Classes whose parents must be reprocessed by `rebuild`.
-    dirty: Vec<Id>,
+    pub(crate) dirty: Vec<Id>,
     /// Operator → classes containing an e-node with that head operator.
     /// Maintained incrementally by `add`; entries may go stale after unions
     /// (resolved through `find` on query) and are compacted by `rebuild`.
-    op_index: FxHashMap<Op, Vec<Id>>,
+    pub(crate) op_index: FxHashMap<Op, Vec<Id>>,
     /// Classes touched since the last [`EGraph::take_search_dirty`]: newly
     /// created, target of a union, or given a materialized constant leaf.
     /// The saturation runner uses this (closed over parents) to re-search
     /// only the part of the graph that can hold new matches.
-    search_dirty: Vec<Id>,
+    pub(crate) search_dirty: Vec<Id>,
     /// Total number of e-nodes ever added (the paper's 10 000-node budget is
     /// measured against this).
-    num_nodes: usize,
+    pub(crate) num_nodes: usize,
     /// Whether constant folding is enabled (on by default; the plain `CSE`
     /// variant of the paper also folds nothing because it runs no rules and
     /// no analysis-driven unions happen without `fold_constants`).
@@ -286,7 +289,7 @@ impl EGraph {
             // stranded in the memo. Sweep such keys up to a fixpoint; the
             // collisions this surfaces are congruences, merged like any
             // other.
-            let stale: Vec<Node> = self
+            let mut stale: Vec<Node> = self
                 .memo
                 .keys()
                 .filter(|n| n.children.iter().any(|&c| self.unionfind.find(c) != c))
@@ -295,6 +298,13 @@ impl EGraph {
             if stale.is_empty() {
                 break;
             }
+            // Sweep in node order, not memo-iteration order: hash-map order
+            // depends on the map's insertion history, which differs between
+            // a graph built live and the same graph restored from a
+            // serialized snapshot. Sorting makes every downstream union
+            // (and thus root choice) a function of graph *content* only, so
+            // a deserialized e-graph re-saturates byte-identically.
+            stale.sort_unstable();
             for old in stale {
                 let id = self.memo.remove(&old).expect("stale key present");
                 let canon = self.canonicalize(&old);

@@ -37,6 +37,7 @@ pub mod pool;
 pub mod rewrite;
 pub mod rules;
 pub mod runner;
+pub mod serialize;
 pub mod unionfind;
 
 pub use analysis::ConstValue;
@@ -52,6 +53,7 @@ pub use runner::{
     BackoffConfig, IterationStats, MatchEngine, RuleStats, Runner, RunnerLimits, RunnerReport,
     StopReason,
 };
+pub use serialize::{op_token, parse_op_token, EGRAPH_FORMAT_HEADER};
 pub use unionfind::UnionFind;
 
 // Compile-time guarantee that saturation state crosses threads: the batch

@@ -117,7 +117,7 @@ pub struct IterationStats {
 }
 
 /// Cumulative per-rule statistics over a saturation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuleStats {
     /// Rule name.
     pub name: String,

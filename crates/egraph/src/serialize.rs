@@ -1,0 +1,581 @@
+//! Hand-rolled, versioned text serialization of the full [`EGraph`] state.
+//!
+//! This is the persistence layer behind content-addressed stage caching
+//! (`accsat serve`, `--cache-dir`): a saturated e-graph is dumped after
+//! `rebuild`, stored under its kernel hash, and restored in a later process
+//! so extraction (or even further saturation) can resume without redoing
+//! the work. Two properties drive the design:
+//!
+//! * **Full fidelity.** Every field that can influence later behavior is
+//!   serialized exactly: the union-find forest (raw parent vector, so
+//!   path-halving history is preserved), class storage including dead
+//!   slots, per-class node and parent lists *in stored order* (the match
+//!   stream of a resumed saturation walks them in order), the hash-cons
+//!   memo, the operator index (per-op id vectors in order), both dirty
+//!   work lists, the monotone node counter and the folding flag. A
+//!   restored graph is operationally indistinguishable from the original:
+//!   re-running the saturation runner on it produces byte-identical
+//!   reports (pinned by `tests/property_cache.rs`).
+//! * **Deterministic bytes.** Hash-map content (memo, op index) is written
+//!   sorted by key, so the same graph always serializes to the same bytes
+//!   regardless of the maps' insertion histories — serialized snapshots
+//!   can themselves be compared or hashed.
+//!
+//! The format is line-oriented text with a versioned header
+//! (`accsat-egraph v1`), following the repo's no-crates.io rule: hand-roll
+//! like the JSON reports, don't vendor a serde. Operators use a tagged
+//! token codec ([`op_token`] / [`parse_op_token`]) because [`Op::name`] is
+//! not injective (a symbol named `load` would collide) and float display
+//! is lossy (tokens carry the exact bits).
+
+use crate::analysis::ConstValue;
+use crate::egraph::{EClass, EGraph};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::node::{Id, Node, Op};
+use crate::unionfind::UnionFind;
+use std::fmt::Write as _;
+
+/// Magic + version line every serialized e-graph starts with. Bump the
+/// version whenever the format (or anything that changes the meaning of
+/// the bytes) changes; readers reject mismatches and the cache treats the
+/// entry as a miss.
+pub const EGRAPH_FORMAT_HEADER: &str = "accsat-egraph v1";
+
+/// Encode an operator as a whitespace-free token.
+///
+/// Payload-carrying variants are tagged (`i:`, `f:`, `s:`, `lc:`,
+/// `call:`); fixed operators use their [`Op::name`], which never contains
+/// a colon — so decoding is unambiguous. Floats are written as exact bits
+/// in hex. Panics if a symbol/call payload contains whitespace (no such
+/// name can come out of the C parser or the SSA builder).
+pub fn op_token(op: &Op) -> String {
+    let tok = match op {
+        Op::Int(v) => format!("i:{v}"),
+        Op::Float(bits) => format!("f:{bits:x}"),
+        Op::Sym(s) => format!("s:{s}"),
+        Op::LoopCond(l) => format!("lc:{l}"),
+        Op::Call(n) => format!("call:{n}"),
+        other => other.name(),
+    };
+    debug_assert!(!tok.chars().any(|c| c.is_whitespace()), "op token must be atomic: {tok:?}");
+    tok
+}
+
+/// Decode a token produced by [`op_token`].
+pub fn parse_op_token(tok: &str) -> Result<Op, String> {
+    if let Some(v) = tok.strip_prefix("i:") {
+        return v.parse::<i64>().map(Op::Int).map_err(|e| format!("bad int op {tok:?}: {e}"));
+    }
+    if let Some(v) = tok.strip_prefix("f:") {
+        return u64::from_str_radix(v, 16)
+            .map(Op::Float)
+            .map_err(|e| format!("bad float op {tok:?}: {e}"));
+    }
+    if let Some(v) = tok.strip_prefix("s:") {
+        return Ok(Op::Sym(v.to_string()));
+    }
+    if let Some(v) = tok.strip_prefix("lc:") {
+        return Ok(Op::LoopCond(v.to_string()));
+    }
+    if let Some(v) = tok.strip_prefix("call:") {
+        return Ok(Op::Call(v.to_string()));
+    }
+    match Op::from_name(tok) {
+        Some(op) if !matches!(op, Op::Int(_) | Op::Float(_) | Op::Sym(_) | Op::LoopCond(_)) => {
+            Ok(op)
+        }
+        _ => Err(format!("unknown op token {tok:?}")),
+    }
+}
+
+fn push_node(out: &mut String, node: &Node) {
+    out.push_str(&op_token(&node.op));
+    let _ = write!(out, " {}", node.children.len());
+    for c in &node.children {
+        let _ = write!(out, " {}", c.index());
+    }
+}
+
+fn const_token(c: Option<ConstValue>) -> String {
+    match c {
+        None => "-".into(),
+        Some(ConstValue::Int(v)) => format!("ci:{v}"),
+        Some(ConstValue::Float(v)) => format!("cf:{:x}", v.to_bits()),
+    }
+}
+
+fn parse_const_token(tok: &str) -> Result<Option<ConstValue>, String> {
+    if tok == "-" {
+        return Ok(None);
+    }
+    if let Some(v) = tok.strip_prefix("ci:") {
+        return v
+            .parse::<i64>()
+            .map(|v| Some(ConstValue::Int(v)))
+            .map_err(|e| format!("bad const {tok:?}: {e}"));
+    }
+    if let Some(v) = tok.strip_prefix("cf:") {
+        return u64::from_str_radix(v, 16)
+            .map(|b| Some(ConstValue::Float(f64::from_bits(b))))
+            .map_err(|e| format!("bad const {tok:?}: {e}"));
+    }
+    Err(format!("unknown const token {tok:?}"))
+}
+
+/// A token cursor over one line of the serialized form.
+struct Line<'a> {
+    toks: std::str::SplitWhitespace<'a>,
+    raw: &'a str,
+}
+
+impl<'a> Line<'a> {
+    fn new(raw: &'a str) -> Line<'a> {
+        Line { toks: raw.split_whitespace(), raw }
+    }
+
+    fn next(&mut self) -> Result<&'a str, String> {
+        self.toks.next().ok_or_else(|| format!("truncated line {:?}", self.raw))
+    }
+
+    fn next_usize(&mut self) -> Result<usize, String> {
+        let t = self.next()?;
+        t.parse::<usize>().map_err(|e| format!("bad count {t:?} in {:?}: {e}", self.raw))
+    }
+
+    fn next_id(&mut self) -> Result<Id, String> {
+        Ok(Id::from(self.next_usize()?))
+    }
+
+    fn next_node(&mut self) -> Result<Node, String> {
+        let op = parse_op_token(self.next()?)?;
+        let k = self.next_usize()?;
+        let mut children = Vec::with_capacity(k);
+        for _ in 0..k {
+            children.push(self.next_id()?);
+        }
+        Ok(Node { op, children })
+    }
+
+    fn expect(&mut self, word: &str) -> Result<(), String> {
+        let t = self.next()?;
+        if t == word {
+            Ok(())
+        } else {
+            Err(format!("expected {word:?}, got {t:?} in {:?}", self.raw))
+        }
+    }
+}
+
+impl EGraph {
+    /// Serialize the complete e-graph state to the versioned text format.
+    ///
+    /// Output bytes are a pure function of the graph state (hash-map
+    /// sections are emitted in sorted order), so equal graphs serialize
+    /// equal. See the module docs for the fidelity contract.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(EGRAPH_FORMAT_HEADER);
+        out.push('\n');
+        let _ = writeln!(out, "fold {}", u8::from(self.fold_constants));
+        let _ = writeln!(out, "nodes {}", self.num_nodes);
+
+        let _ = write!(out, "uf {}", self.unionfind.parents.len());
+        for p in &self.unionfind.parents {
+            let _ = write!(out, " {}", p.index());
+        }
+        out.push('\n');
+
+        let _ = writeln!(out, "classes {}", self.classes.len());
+        for (i, slot) in self.classes.iter().enumerate() {
+            match slot {
+                None => {
+                    let _ = writeln!(out, "c {i} dead");
+                }
+                Some(cls) => {
+                    let _ = writeln!(
+                        out,
+                        "c {i} live {} {} {}",
+                        const_token(cls.constant),
+                        cls.nodes.len(),
+                        cls.parents.len()
+                    );
+                    for n in &cls.nodes {
+                        out.push_str("n ");
+                        push_node(&mut out, n);
+                        out.push('\n');
+                    }
+                    for (n, pid) in &cls.parents {
+                        out.push_str("p ");
+                        push_node(&mut out, n);
+                        let _ = writeln!(out, " {}", pid.index());
+                    }
+                }
+            }
+        }
+
+        let mut memo: Vec<(&Node, Id)> = self.memo.iter().map(|(n, &id)| (n, id)).collect();
+        memo.sort_unstable();
+        let _ = writeln!(out, "memo {}", memo.len());
+        for (n, id) in memo {
+            out.push_str("m ");
+            push_node(&mut out, n);
+            let _ = writeln!(out, " {}", id.index());
+        }
+
+        let mut ops: Vec<(String, &Vec<Id>)> =
+            self.op_index.iter().map(|(op, ids)| (op_token(op), ids)).collect();
+        ops.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let _ = writeln!(out, "ops {}", ops.len());
+        for (tok, ids) in ops {
+            let _ = write!(out, "o {tok} {}", ids.len());
+            for id in ids {
+                let _ = write!(out, " {}", id.index());
+            }
+            out.push('\n');
+        }
+
+        let _ = write!(out, "dirty {}", self.dirty.len());
+        for id in &self.dirty {
+            let _ = write!(out, " {}", id.index());
+        }
+        out.push('\n');
+        let _ = write!(out, "sdirty {}", self.search_dirty.len());
+        for id in &self.search_dirty {
+            let _ = write!(out, " {}", id.index());
+        }
+        out.push('\n');
+        out.push_str("end\n");
+        out
+    }
+
+    /// Restore an e-graph from [`EGraph::serialize`] output. Rejects
+    /// unknown format versions and structurally corrupt input with a
+    /// descriptive error (the cache layer maps any error to a miss).
+    pub fn deserialize(text: &str) -> Result<EGraph, String> {
+        let mut lines = text.lines();
+        let mut next_line =
+            |what: &str| lines.next().ok_or_else(|| format!("truncated input: expected {what}"));
+
+        let header = next_line("header")?;
+        if header != EGRAPH_FORMAT_HEADER {
+            return Err(format!(
+                "unsupported e-graph format {header:?} (expected {EGRAPH_FORMAT_HEADER:?})"
+            ));
+        }
+
+        let mut l = Line::new(next_line("fold")?);
+        l.expect("fold")?;
+        let fold_constants = match l.next()? {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("bad fold flag {other:?}")),
+        };
+
+        let mut l = Line::new(next_line("nodes")?);
+        l.expect("nodes")?;
+        let num_nodes = l.next_usize()?;
+
+        let mut l = Line::new(next_line("uf")?);
+        l.expect("uf")?;
+        let uf_len = l.next_usize()?;
+        let mut parents = Vec::with_capacity(uf_len);
+        for _ in 0..uf_len {
+            parents.push(l.next_id()?);
+        }
+        for p in &parents {
+            if p.index() >= uf_len {
+                return Err(format!("union-find parent {p} out of range {uf_len}"));
+            }
+        }
+
+        let mut l = Line::new(next_line("classes")?);
+        l.expect("classes")?;
+        let n_classes = l.next_usize()?;
+        if n_classes != uf_len {
+            return Err(format!("class count {n_classes} != union-find size {uf_len}"));
+        }
+        let mut classes: Vec<Option<EClass>> = Vec::with_capacity(n_classes);
+        for i in 0..n_classes {
+            let mut l = Line::new(next_line("class")?);
+            l.expect("c")?;
+            let idx = l.next_usize()?;
+            if idx != i {
+                return Err(format!("class {i} out of order (got {idx})"));
+            }
+            match l.next()? {
+                "dead" => classes.push(None),
+                "live" => {
+                    let constant = parse_const_token(l.next()?)?;
+                    let n_nodes = l.next_usize()?;
+                    let n_parents = l.next_usize()?;
+                    let mut nodes = Vec::with_capacity(n_nodes);
+                    for _ in 0..n_nodes {
+                        let mut l = Line::new(next_line("class node")?);
+                        l.expect("n")?;
+                        nodes.push(l.next_node()?);
+                    }
+                    let mut cls_parents = Vec::with_capacity(n_parents);
+                    for _ in 0..n_parents {
+                        let mut l = Line::new(next_line("class parent")?);
+                        l.expect("p")?;
+                        let node = l.next_node()?;
+                        cls_parents.push((node, l.next_id()?));
+                    }
+                    classes.push(Some(EClass { nodes, parents: cls_parents, constant }));
+                }
+                other => return Err(format!("bad class tag {other:?}")),
+            }
+        }
+
+        let mut l = Line::new(next_line("memo")?);
+        l.expect("memo")?;
+        let n_memo = l.next_usize()?;
+        let mut memo = FxHashMap::default();
+        memo.reserve(n_memo);
+        for _ in 0..n_memo {
+            let mut l = Line::new(next_line("memo entry")?);
+            l.expect("m")?;
+            let node = l.next_node()?;
+            let id = l.next_id()?;
+            if memo.insert(node, id).is_some() {
+                return Err("duplicate memo entry".into());
+            }
+        }
+
+        let mut l = Line::new(next_line("ops")?);
+        l.expect("ops")?;
+        let n_ops = l.next_usize()?;
+        let mut op_index: FxHashMap<Op, Vec<Id>> = FxHashMap::default();
+        op_index.reserve(n_ops);
+        for _ in 0..n_ops {
+            let mut l = Line::new(next_line("op index entry")?);
+            l.expect("o")?;
+            let op = parse_op_token(l.next()?)?;
+            let count = l.next_usize()?;
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(l.next_id()?);
+            }
+            if op_index.insert(op, ids).is_some() {
+                return Err("duplicate op index entry".into());
+            }
+        }
+
+        let mut l = Line::new(next_line("dirty")?);
+        l.expect("dirty")?;
+        let n_dirty = l.next_usize()?;
+        let mut dirty = Vec::with_capacity(n_dirty);
+        for _ in 0..n_dirty {
+            dirty.push(l.next_id()?);
+        }
+
+        let mut l = Line::new(next_line("sdirty")?);
+        l.expect("sdirty")?;
+        let n_sdirty = l.next_usize()?;
+        let mut search_dirty = Vec::with_capacity(n_sdirty);
+        for _ in 0..n_sdirty {
+            search_dirty.push(l.next_id()?);
+        }
+
+        if next_line("end")? != "end" {
+            return Err("missing end marker".into());
+        }
+
+        let eg = EGraph {
+            unionfind: UnionFind { parents },
+            memo,
+            classes,
+            dirty,
+            op_index,
+            search_dirty,
+            num_nodes,
+            fold_constants,
+        };
+        eg.validate()?;
+        Ok(eg)
+    }
+
+    /// Structural sanity checks on a deserialized graph: every id in any
+    /// section must be in range, and every referenced canonical class must
+    /// be live. Cheap (linear) — corruption becomes an error, not a panic
+    /// deep inside saturation.
+    fn validate(&self) -> Result<(), String> {
+        let n = self.classes.len();
+        let check = |id: Id, what: &str| -> Result<(), String> {
+            if id.index() >= n {
+                return Err(format!("{what}: id {id} out of range {n}"));
+            }
+            Ok(())
+        };
+        let live = |id: Id, what: &str| -> Result<(), String> {
+            check(id, what)?;
+            if self.classes[self.find(id).index()].is_none() {
+                return Err(format!("{what}: id {id} resolves to a dead class"));
+            }
+            Ok(())
+        };
+        for (i, slot) in self.classes.iter().enumerate() {
+            let Some(cls) = slot else { continue };
+            for node in &cls.nodes {
+                for &c in &node.children {
+                    live(c, &format!("class {i} node child"))?;
+                }
+            }
+            for (node, pid) in &cls.parents {
+                live(*pid, &format!("class {i} parent id"))?;
+                for &c in &node.children {
+                    check(c, &format!("class {i} parent child"))?;
+                }
+            }
+        }
+        for (node, &id) in &self.memo {
+            live(id, "memo value")?;
+            for &c in &node.children {
+                check(c, "memo key child")?;
+            }
+        }
+        for ids in self.op_index.values() {
+            for &id in ids {
+                check(id, "op index")?;
+            }
+        }
+        for &id in self.dirty.iter().chain(&self.search_dirty) {
+            check(id, "dirty list")?;
+        }
+        Ok(())
+    }
+
+    /// Deep structural equality of the *serializable* state — equal exactly
+    /// when `serialize()` outputs are equal bytes, but without building the
+    /// strings. Test helper for round-trip properties.
+    pub fn state_eq(&self, other: &EGraph) -> bool {
+        if self.fold_constants != other.fold_constants
+            || self.num_nodes != other.num_nodes
+            || self.unionfind.parents != other.unionfind.parents
+            || self.dirty != other.dirty
+            || self.search_dirty != other.search_dirty
+            || self.classes.len() != other.classes.len()
+        {
+            return false;
+        }
+        let class_eq = |a: &Option<EClass>, b: &Option<EClass>| match (a, b) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.nodes == b.nodes && a.parents == b.parents && a.constant == b.constant
+            }
+            _ => false,
+        };
+        if !self.classes.iter().zip(&other.classes).all(|(a, b)| class_eq(a, b)) {
+            return false;
+        }
+        self.memo == other.memo && self.op_index == other.op_index
+    }
+}
+
+// Silence unused-import lint when debug assertions compile out.
+#[allow(unused)]
+fn _assert_types(_: &FxHashSet<Id>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::all_rules;
+    use crate::runner::Runner;
+
+    fn sample_graph() -> EGraph {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let two = eg.add(Node::int(2));
+        let half = eg.add(Node::float(0.5));
+        let m = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let s = eg.add(Node::new(Op::Add, vec![m, two]));
+        let d = eg.add(Node::new(Op::Div, vec![s, half]));
+        let ld = eg.add(Node::new(Op::Load, vec![a, two]));
+        let _c = eg.add(Node::new(Op::Call("fmin".into()), vec![d, ld]));
+        let _lc = eg.add(Node::leaf(Op::LoopCond("L0".into())));
+        eg.union(m, s);
+        eg.rebuild();
+        eg
+    }
+
+    #[test]
+    fn round_trip_preserves_state_and_bytes() {
+        let eg = sample_graph();
+        let text = eg.serialize();
+        let back = EGraph::deserialize(&text).expect("round trip");
+        assert!(eg.state_eq(&back), "deserialized state must equal the original");
+        assert_eq!(back.serialize(), text, "re-serialization must be byte-identical");
+        back.check_invariants();
+    }
+
+    #[test]
+    fn op_tokens_round_trip_payload_variants() {
+        let ops = [
+            Op::Int(-42),
+            Op::float(0.1),
+            Op::float(f64::NAN),
+            Op::Sym("load".into()), // must NOT collide with the Load operator
+            Op::Sym("x0".into()),
+            Op::LoopCond("L3".into()),
+            Op::Call("sqrt".into()),
+            Op::Add,
+            Op::Fma,
+            Op::CastFloat,
+            Op::PhiLoop,
+        ];
+        for op in ops {
+            let tok = op_token(&op);
+            let back = parse_op_token(&tok).unwrap_or_else(|e| panic!("{tok}: {e}"));
+            assert_eq!(back, op, "token {tok} must round-trip");
+        }
+        assert_eq!(parse_op_token("s:load").unwrap(), Op::Sym("load".into()));
+        assert_eq!(parse_op_token("load").unwrap(), Op::Load);
+    }
+
+    #[test]
+    fn version_and_corruption_are_rejected() {
+        let eg = sample_graph();
+        let text = eg.serialize();
+        let wrong = text.replacen("v1", "v999", 1);
+        assert!(EGraph::deserialize(&wrong).is_err(), "version mismatch must be rejected");
+        let truncated = &text[..text.len() / 2];
+        assert!(EGraph::deserialize(truncated).is_err(), "truncation must be rejected");
+        // out-of-range id in the union-find line
+        let corrupt = text.replacen("uf ", "uf 999 ", 1);
+        assert!(EGraph::deserialize(&corrupt).is_err());
+    }
+
+    #[test]
+    fn saturation_resumes_identically_after_round_trip() {
+        // The contract the stage cache stands on: running the saturation
+        // runner on a restored graph must produce the same report and the
+        // same final state as running it on the original.
+        let build = || {
+            let mut eg = EGraph::new();
+            let a = eg.add(Node::sym("a"));
+            let b = eg.add(Node::sym("b"));
+            let c = eg.add(Node::sym("c"));
+            let bc = eg.add(Node::new(Op::Mul, vec![b, c]));
+            let sum = eg.add(Node::new(Op::Add, vec![bc, a]));
+            let two = eg.add(Node::int(2));
+            let _r = eg.add(Node::new(Op::Div, vec![sum, two]));
+            eg.rebuild();
+            eg
+        };
+        let mut original = build();
+        let mut restored = EGraph::deserialize(&build().serialize()).expect("round trip");
+        let runner = Runner::new(all_rules());
+        let r1 = runner.run(&mut original);
+        let r2 = runner.run(&mut restored);
+        assert_eq!(r1.stop_reason, r2.stop_reason);
+        assert_eq!(r1.iterations.len(), r2.iterations.len());
+        for (a, b) in r1.iterations.iter().zip(&r2.iterations) {
+            assert_eq!((a.matches, a.applied, a.total_nodes, a.num_classes), {
+                (b.matches, b.applied, b.total_nodes, b.num_classes)
+            });
+        }
+        assert!(original.state_eq(&restored), "post-saturation state must be identical");
+        assert_eq!(original.serialize(), restored.serialize());
+    }
+}

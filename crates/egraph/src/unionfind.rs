@@ -7,7 +7,7 @@ use crate::node::Id;
 /// the e-graph uses to keep the analysis data on the canonical class).
 #[derive(Debug, Clone, Default)]
 pub struct UnionFind {
-    parents: Vec<Id>,
+    pub(crate) parents: Vec<Id>,
 }
 
 impl UnionFind {

@@ -54,8 +54,8 @@ pub use greedy::extract_greedy;
 pub use lp::LpBound;
 pub use portfolio::{
     extract_portfolio, extract_portfolio_budgeted, extract_portfolio_k,
-    extract_portfolio_k_budgeted, HarvestedSelection, PortfolioConfig, PortfolioHarvest,
-    PortfolioResult, WorkerOutcome, STRATEGY_COUNT,
+    extract_portfolio_k_budgeted, intern_strategy, HarvestedSelection, PortfolioConfig,
+    PortfolioHarvest, PortfolioResult, WorkerOutcome, STRATEGY_COUNT,
 };
 pub use refine::{climb, marginal_greedy};
 pub use selection::{Selection, SelectionError};

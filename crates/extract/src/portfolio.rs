@@ -51,6 +51,16 @@ const STRATEGIES: &[(&str, ClassOrder, bool)] = &[
 /// becomes a candidate.
 pub const STRATEGY_COUNT: usize = STRATEGIES.len();
 
+/// Map a strategy name (e.g. read back from a serialized cache entry) to
+/// the interned `&'static str` the portfolio reports. `None` for unknown
+/// names — the cache layer treats that as a corrupt entry and re-extracts.
+pub fn intern_strategy(name: &str) -> Option<&'static str> {
+    ["greedy", "refine"]
+        .into_iter()
+        .chain(STRATEGIES.iter().map(|&(n, _, _)| n))
+        .find(|&n| n == name)
+}
+
 /// Portfolio configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PortfolioConfig {

@@ -1,7 +1,7 @@
 //! A selection: one chosen e-node per (reachable) e-class.
 
 use crate::cost::CostModel;
-use accsat_egraph::{EGraph, Id, Node};
+use accsat_egraph::{op_token, parse_op_token, EGraph, Id, Node};
 use std::collections::HashMap;
 
 /// Why a selection could not be walked from its roots.
@@ -198,6 +198,67 @@ impl Selection {
         h
     }
 
+    /// Serialize the selection to the versioned line format used by the
+    /// stage cache (`accsat-selection v1`). Entries are written sorted by
+    /// class id, so equal selections serialize to equal bytes. Ids are the
+    /// canonical ids of the e-graph the selection was extracted from — a
+    /// cached selection is only meaningful against the *same* serialized
+    /// e-graph snapshot, which is why the cache keys the selection level
+    /// on a superset of the saturation key.
+    pub fn serialize(&self) -> String {
+        use std::fmt::Write as _;
+        let mut entries: Vec<(&Id, &Node)> = self.choice.iter().collect();
+        entries.sort_unstable();
+        let mut out = String::new();
+        let _ = writeln!(out, "accsat-selection v1 {}", entries.len());
+        for (id, node) in entries {
+            let _ = write!(out, "{} {} {}", id.index(), op_token(&node.op), node.children.len());
+            for c in &node.children {
+                let _ = write!(out, " {}", c.index());
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Restore a selection from [`Selection::serialize`] output. Errors on
+    /// version mismatch or corruption (the cache maps errors to misses).
+    pub fn deserialize(text: &str) -> Result<Selection, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty selection input")?;
+        let mut h = header.split_whitespace();
+        if (h.next(), h.next()) != (Some("accsat-selection"), Some("v1")) {
+            return Err(format!("unsupported selection format {header:?}"));
+        }
+        let count: usize = h
+            .next()
+            .ok_or("missing selection count")?
+            .parse()
+            .map_err(|e| format!("bad selection count: {e}"))?;
+        let mut choice = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or("truncated selection input")?;
+            let mut toks = line.split_whitespace();
+            let mut next = || toks.next().ok_or_else(|| format!("truncated line {line:?}"));
+            let id: usize = next()?.parse().map_err(|e| format!("bad id in {line:?}: {e}"))?;
+            let op = parse_op_token(next()?)?;
+            let k: usize = next()?.parse().map_err(|e| format!("bad arity in {line:?}: {e}"))?;
+            let mut children = Vec::with_capacity(k);
+            for _ in 0..k {
+                let c: usize = next()?.parse().map_err(|e| format!("bad child: {e}"))?;
+                children.push(Id::from(c));
+            }
+            if choice.insert(Id::from(id), Node { op, children }).is_some() {
+                return Err(format!("duplicate selection entry for class {id}"));
+            }
+        }
+        if lines.next() != Some("end") {
+            return Err("missing selection end marker".into());
+        }
+        Ok(Selection { choice })
+    }
+
     /// Render the selected term for a root as an s-expression (debugging).
     pub fn term_string(&self, eg: &EGraph, id: Id) -> String {
         let node = self.node(eg, id);
@@ -215,6 +276,29 @@ impl Selection {
 mod tests {
     use super::*;
     use accsat_egraph::{Node, Op};
+
+    #[test]
+    fn serialize_round_trips_and_is_sorted_stable() {
+        let mut eg = EGraph::new();
+        let a = eg.add(Node::sym("a"));
+        let b = eg.add(Node::sym("b"));
+        let m = eg.add(Node::new(Op::Mul, vec![a, b]));
+        let mut sel = Selection::new();
+        sel.choose(&eg, m, Node::new(Op::Mul, vec![a, b]));
+        sel.choose(&eg, a, Node::sym("a"));
+        sel.choose(&eg, b, Node::sym("b"));
+        let text = sel.serialize();
+        let back = Selection::deserialize(&text).expect("round trip");
+        assert_eq!(back.serialize(), text, "re-serialization must be byte-identical");
+        assert_eq!(back.len(), sel.len());
+        assert_eq!(back.node(&eg, m), sel.node(&eg, m));
+        assert_eq!(back.dag_cost(&eg, &CostModel::paper(), &[m]), {
+            sel.dag_cost(&eg, &CostModel::paper(), &[m])
+        });
+        // corruption and version mismatches are errors, not panics
+        assert!(Selection::deserialize("accsat-selection v999 0\nend\n").is_err());
+        assert!(Selection::deserialize(&text[..text.len() / 2]).is_err());
+    }
 
     #[test]
     fn reachable_is_topo_ordered() {

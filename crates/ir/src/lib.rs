@@ -15,6 +15,7 @@
 
 pub mod ast;
 pub mod directive;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -22,9 +23,10 @@ pub mod visit;
 
 pub use ast::{AssignOp, BinOp, Block, Expr, Function, LValue, Param, Program, Stmt, Type, UnOp};
 pub use directive::{Clause, Directive, DirectiveKind, Model};
+pub use fingerprint::{fingerprint_block, fingerprint_function, fnv1a, fnv1a_mix};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse_expr, parse_program, ParseError};
-pub use printer::{print_expr, print_program, print_stmt};
+pub use printer::{print_block_string, print_expr, print_program, print_stmt};
 pub use visit::{walk_expr, walk_stmt, ExprVisitor};
 
 /// Identifier type used throughout the IR. Kernel sources are small, so a

@@ -45,6 +45,17 @@ fn indent(level: usize, out: &mut String) {
     }
 }
 
+/// Print a block (braces included) at indentation level 0.
+///
+/// This is the *canonical form* the stage cache hashes: comments and
+/// incidental whitespace are gone after parsing, so two sources differing
+/// only cosmetically print — and therefore hash — identically.
+pub fn print_block_string(b: &Block) -> String {
+    let mut out = String::new();
+    print_block(b, 0, &mut out);
+    out
+}
+
 fn print_block(b: &Block, level: usize, out: &mut String) {
     out.push_str("{\n");
     for s in &b.stmts {

@@ -380,6 +380,12 @@ impl Builder {
                 if !modified.contains(&l.var) {
                     modified.push(l.var.clone());
                 }
+                // induction variables of nested scoped loops die with
+                // their own loop (their handler removes them from the
+                // environment), so they take no φ — and no entry symbol —
+                // at this level
+                let nested_scoped = scoped_loop_vars(&l.body);
+                modified.retain(|m| *m == l.var || !nested_scoped.contains(m));
                 modified.sort();
                 // record init values, then bind entry symbols for the body
                 let mut inits = Vec::new();
@@ -521,6 +527,50 @@ impl Builder {
             }
         }
     }
+}
+
+/// Induction variables of scoped `for` loops (`declares_var`) anywhere
+/// inside `b`: each dies with its own loop, so an enclosing loop must not
+/// treat it as a loop-carried name.
+fn scoped_loop_vars(b: &Block) -> Vec<String> {
+    let mut out = Vec::new();
+    fn go(s: &Stmt, out: &mut Vec<String>) {
+        match s {
+            Stmt::For(l) => {
+                if l.declares_var {
+                    out.push(l.var.clone());
+                }
+                for s in &l.body.stmts {
+                    go(s, out);
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                for s in &then.stmts {
+                    go(s, out);
+                }
+                if let Some(e) = els {
+                    for s in &e.stmts {
+                        go(s, out);
+                    }
+                }
+            }
+            Stmt::While { body, .. } => {
+                for s in &body.stmts {
+                    go(s, out);
+                }
+            }
+            Stmt::Block(b) => {
+                for s in &b.stmts {
+                    go(s, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in &b.stmts {
+        go(s, &mut out);
+    }
+    out
 }
 
 /// Names declared *inside* `s` (block-scoped: they die with the statement
@@ -683,6 +733,41 @@ void f(double out[8], int base) {
         let roots = k.extraction_roots();
         // value class + one index class
         assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    fn nested_scoped_loops_build_without_phi_for_inner_vars() {
+        // The inner loop's scoped induction variable dies with the inner
+        // loop; the outer loop must not demand a φ for it (this used to
+        // panic with "no entry found for key").
+        let src = r#"
+void f(double a[8], double out[8]) {
+  #pragma acc parallel loop gang vector
+  for (int i = 1; i < 7; i++) {
+    double s = a[i];
+    for (int l1 = 0; l1 < 3; l1++) {
+      for (int l2 = 0; l2 < 2; l2++) {
+        s = s + a[i - 1];
+      }
+    }
+    out[i] = s;
+  }
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let k = build_kernel(&prog.functions[0].body);
+        let outer = k
+            .nodes
+            .iter()
+            .find_map(|n| match n {
+                SsaNode::Loop { header, phis, .. } if header.var == "i" => Some(phis),
+                _ => None,
+            })
+            .expect("outer loop lowers to a Loop node");
+        let phi_names: Vec<&str> = outer.iter().map(|(n, _, _, _)| n.as_str()).collect();
+        assert!(!phi_names.contains(&"l1"), "inner loop var must not φ at the outer level");
+        assert!(!phi_names.contains(&"l2"), "inner loop var must not φ at the outer level");
+        assert!(phi_names.contains(&"s"), "the accumulator threads through the outer φ");
     }
 
     #[test]

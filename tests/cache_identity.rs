@@ -1,0 +1,153 @@
+//! Differential cold/warm identity: the stage cache must be a wall-clock
+//! optimization and nothing else. Every suite kernel and every corpus
+//! repro is optimized three ways — no cache, cold cache (filling), warm
+//! cache (hitting, through a *fresh* process-like cache instance over the
+//! same directory) — and the printed output and stable batch JSON must be
+//! byte-for-byte identical. A second family of checks pins the stage
+//! *levels*: which config edits degrade a warm hit from `selected` to
+//! `saturated` to `parsed`, and which (comment edits, sibling variants)
+//! deliberately do not.
+
+use accsat::batch::{optimize_suite, ParallelConfig};
+use accsat::{optimize_source, CacheLevel, SaturatorConfig, StageCache, Variant};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Scaled-down limits (the fuzzer's): the identity property holds at any
+/// budget, so the test buys coverage of all 19 kernels, not search depth.
+fn fast_config(cache: Option<Arc<StageCache>>) -> SaturatorConfig {
+    let mut cfg = SaturatorConfig {
+        extraction_node_budget: 10_000,
+        extraction_budget: Duration::from_secs(600),
+        cache,
+        ..SaturatorConfig::default()
+    };
+    cfg.limits.node_limit = 1500;
+    cfg.limits.iter_limit = 3;
+    cfg.limits.time_limit = Duration::from_secs(600);
+    cfg
+}
+
+/// A unique scratch directory for an on-disk cache.
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("accsat-cache-identity-{tag}-{}", std::process::id()))
+}
+
+/// All 19 suite kernels through the batch driver: the stable JSON (the CI
+/// artifact) must not notice the cache — not when filling it, not when
+/// hitting it from a second cache instance reading the same directory —
+/// and the warm pass must hit `selected` on every kernel.
+#[test]
+fn suite_stable_json_is_identical_without_cold_and_warm_cache() {
+    let benches = accsat_benchmarks::all_benchmarks();
+    let par = ParallelConfig { threads: 1, kernel_deadline: None, shard: None };
+    let dir = scratch_dir("suite");
+
+    let plain = optimize_suite(&benches, Variant::AccSat, &fast_config(None), &par).unwrap();
+
+    let cache = Arc::new(StageCache::with_dir(&dir).unwrap());
+    let cold = optimize_suite(&benches, Variant::AccSat, &fast_config(Some(cache)), &par).unwrap();
+
+    // a fresh instance over the same directory: everything it knows, it
+    // knows from disk — this is the `accsat serve` restart story
+    let reopened = Arc::new(StageCache::with_dir(&dir).unwrap());
+    let warm =
+        optimize_suite(&benches, Variant::AccSat, &fast_config(Some(reopened)), &par).unwrap();
+
+    assert_eq!(plain.to_stable_json(), cold.to_stable_json(), "filling the cache moved the JSON");
+    assert_eq!(plain.to_stable_json(), warm.to_stable_json(), "hitting the cache moved the JSON");
+    for b in &warm.benchmarks {
+        for f in &b.functions {
+            for s in &f.stats {
+                assert_eq!(
+                    s.cache_level,
+                    CacheLevel::Selected,
+                    "{} {} did not resume from disk",
+                    b.benchmark,
+                    f.function
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fuzzer's minimized corpus repros — kernels that historically broke
+/// the pipeline — must print identical bytes cold and warm and resume at
+/// the `selected` level.
+#[test]
+fn corpus_repros_are_identical_cold_and_warm() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+    entries.sort();
+    let mut checked = 0;
+    for path in entries {
+        if path.extension().and_then(|s| s.to_str()) != Some("sat") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let cfg = fast_config(Some(Arc::new(StageCache::in_memory())));
+        let (cold, _, _) = optimize_source(&src, Variant::AccSat, &cfg)
+            .unwrap_or_else(|e| panic!("{}: cold run failed: {e}", path.display()));
+        let (warm, _, level) = optimize_source(&src, Variant::AccSat, &cfg)
+            .unwrap_or_else(|e| panic!("{}: warm run failed: {e}", path.display()));
+        assert_eq!(cold, warm, "{}: warm output drifted", path.display());
+        assert_eq!(level, CacheLevel::Selected, "{}: warm run did not resume", path.display());
+        checked += 1;
+    }
+    assert_eq!(checked, 5, "all five corpus repros must be present and checked");
+}
+
+/// Stage levels under config edits, pinned on one real kernel: the key
+/// schema decides which knobs force recomputation of which stages, and
+/// this test is the executable form of that decision table.
+#[test]
+fn stage_levels_degrade_predictably_under_config_edits() {
+    let src = accsat_benchmarks::all_benchmarks()
+        .iter()
+        .find(|b| b.name == "CG")
+        .expect("CG benchmark exists")
+        .acc_source
+        .clone();
+    let cache = Arc::new(StageCache::in_memory());
+    let base = fast_config(Some(cache.clone()));
+
+    let (cold_out, _, cold_level) = optimize_source(&src, Variant::AccSat, &base).unwrap();
+    assert_eq!(cold_level, CacheLevel::Miss, "first contact must be a miss");
+
+    // identical resubmission: full resume
+    let (warm_out, _, warm_level) = optimize_source(&src, Variant::AccSat, &base).unwrap();
+    assert_eq!(warm_level, CacheLevel::Selected);
+    assert_eq!(cold_out, warm_out);
+
+    // a cost-irrelevant comment edit: the raw bytes miss the parse cache,
+    // but the kernel fingerprint is taken over canonical printed IR, so
+    // both stage caches still hit — and the output is unchanged
+    let commented = format!("/* reviewed 2026-08-08 */\n{src}");
+    let (edited_out, _, edited_level) =
+        optimize_source(&commented, Variant::AccSat, &base).unwrap();
+    assert_eq!(edited_level, CacheLevel::Selected, "comment edits must not evict");
+    assert_eq!(cold_out, edited_out);
+
+    // an extraction-only knob: saturation keys unchanged (stage hit), the
+    // selection key moves (stage miss) — the run resumes from `saturated`
+    let mut sel_moved = base.clone();
+    sel_moved.extraction_node_budget = 20_000;
+    let (_, _, sel_level) = optimize_source(&src, Variant::AccSat, &sel_moved).unwrap();
+    assert_eq!(sel_level, CacheLevel::Saturated);
+
+    // a saturation knob: both stage keys move; only the parse cache (same
+    // raw bytes) still hits
+    let mut sat_moved = base.clone();
+    sat_moved.limits.iter_limit = 2;
+    let (_, _, sat_level) = optimize_source(&src, Variant::AccSat, &sat_moved).unwrap();
+    assert_eq!(sat_level, CacheLevel::Parsed);
+
+    // sibling variant: CSE+SAT saturates with the same rules and extracts
+    // with the same objective — only code generation differs, and codegen
+    // is deliberately outside both stage keys, so the warm run resumes at
+    // `selected` even though it prints different (bulk-load-free) output
+    let (_, _, sibling_level) = optimize_source(&src, Variant::CseSat, &base).unwrap();
+    assert_eq!(sibling_level, CacheLevel::Selected, "sibling variants must share stages");
+}

@@ -39,6 +39,29 @@ fn campaign_seed7_is_byte_identical_across_threads() {
     assert!(single.failures.is_empty());
 }
 
+/// The cache oracle: with `cache_check` on, every case also runs each
+/// variant cold-then-warm through a fresh in-memory stage cache, flagging
+/// any output/stat divergence (`cache-divergence`) or a warm run that
+/// fails to reach the `selected` stage level (`cache-level`). The 200-case
+/// seed-7 campaign must stay clean, and — because the oracle only *adds*
+/// findings — its stable JSON must be byte-identical to the plain
+/// campaign's.
+#[test]
+fn campaign_seed7_cache_oracle_is_clean_and_invisible() {
+    let plain =
+        run_campaign(&FuzzConfig { cases: 200, seed: 7, threads: 8, ..FuzzConfig::default() });
+    let cached = run_campaign(&FuzzConfig {
+        cases: 200,
+        seed: 7,
+        threads: 8,
+        cache_check: true,
+        ..FuzzConfig::default()
+    });
+    assert_eq!(cached.passed, 200, "cache campaign must be clean: {}", cached.render_summary());
+    assert!(cached.failures.is_empty());
+    assert_eq!(plain.to_stable_json(), cached.to_stable_json());
+}
+
 /// Drop every `if` statement — a deliberately broken "optimizer" whose
 /// miscompile the minimizer has to chase.
 fn strip_ifs(b: &mut accsat::ir::Block) {
@@ -134,8 +157,9 @@ void wk(double a[8], double out[8], double c) {
 /// never been read left no φ behind, so later loads aliased the pre-store
 /// state and CSE/bulk-load reused (or hoisted) them across the store.
 /// Adding the `arr_cond` and `while_loop` flavors widened the flavor draw
-/// from 5 to 7, remapping every seed to a different kernel — the original
-/// failing kernels live on as minimized repros in `tests/corpus/` (see
+/// from 5 to 7, and `deep_nest` later widened it to 8 — each widening
+/// remapped every seed to a different kernel. The original failing
+/// kernels live on as minimized repros in `tests/corpus/` (see
 /// `regression_minimized_corpus_repros`); these indices stay pinned as a
 /// cheap spot-check of the remapped generator.
 #[test]
@@ -148,8 +172,12 @@ fn regression_seed7_previously_failing_cases() {
     }
 }
 
-/// The minimized repros from the same campaign, checked in under
-/// `tests/corpus/`, re-verified through every oracle and variant.
+/// The minimized repros checked in under `tests/corpus/`, re-verified
+/// through every oracle and variant: the four conditional-store-φ
+/// miscompiles from the original campaign, plus the nested-loop repro the
+/// `deep_nest` flavor's first campaign surfaced (the SSA builder demanded
+/// a loop φ for an inner scoped induction variable that had already died
+/// with its own loop, and panicked with "no entry found for key").
 #[test]
 fn regression_minimized_corpus_repros() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
@@ -170,5 +198,5 @@ fn regression_minimized_corpus_repros() {
         assert!(findings.is_empty(), "{} regressed: {findings:?}", path.display());
         checked += 1;
     }
-    assert_eq!(checked, 4, "all four corpus repros must be present and checked");
+    assert_eq!(checked, 5, "all five corpus repros must be present and checked");
 }

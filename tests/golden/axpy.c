@@ -1,0 +1,6 @@
+void axpy(double x[1024], double y[1024], double a) {
+  #pragma acc parallel loop gang vector
+  for (int i = 0; i < 1024; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}

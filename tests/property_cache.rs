@@ -1,0 +1,110 @@
+//! Property tests for the content-addressed stage cache and the e-graph
+//! snapshot format behind it: a saturated e-graph serialized to text,
+//! deserialized, and saturated *again* must be indistinguishable from one
+//! that never left memory, and a warm (cache-resumed) pipeline run must
+//! render byte-identical output at the `selected` stage level.
+//!
+//! Kernels come from the fuzzer's [`accsat_benchmarks::genkern`]
+//! generator, so the properties range over every flavor the differential
+//! campaigns exercise — loop nests, φ-inducing conditionals, opaque
+//! `while` loops — not just straight-line stencils.
+//!
+//! Failing seeds persist to `proptest-regressions/property_cache.txt` and
+//! re-run first on every test execution.
+
+use accsat::{optimize_source, CacheLevel, SaturatorConfig, StageCache, Variant};
+use accsat_benchmarks::genkern::{generate_kernel, GenConfig};
+use accsat_egraph::{all_rules, EGraph, Runner, RunnerLimits};
+use accsat_ir::parse_program;
+use accsat_ssa::build_kernel;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The fuzzer's scaled-down limits: big enough to rewrite, small enough
+/// to keep hundreds of property cases fast.
+fn small_limits() -> RunnerLimits {
+    RunnerLimits { node_limit: 1500, iter_limit: 3, ..RunnerLimits::default() }
+}
+
+/// A pipeline config with the same scaled-down limits, optionally caching.
+fn small_config(cache: Option<Arc<StageCache>>) -> SaturatorConfig {
+    SaturatorConfig {
+        limits: small_limits(),
+        extraction_node_budget: 10_000,
+        extraction_budget: Duration::from_secs(60),
+        cache,
+        ..SaturatorConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Serialize → deserialize → re-saturate: the snapshot format is the
+    /// resume mechanism of the stage cache, so a deserialized e-graph must
+    /// (a) be state-equal to the original, (b) re-serialize to the same
+    /// bytes (the format is a fixpoint, not merely an inverse), and
+    /// (c) saturate onward to exactly the bytes the in-memory graph
+    /// reaches — resuming from a snapshot is indistinguishable from never
+    /// having paused.
+    #[test]
+    fn saturated_egraph_roundtrips_and_resaturates(seed in 0u64..u64::MAX) {
+        let gk = generate_kernel(seed, &GenConfig::default());
+        let prog = parse_program(&gk.source).unwrap();
+        let mut kernel = build_kernel(&prog.functions[0].body);
+        let runner = Runner::new(all_rules()).with_limits(small_limits());
+        runner.run(&mut kernel.egraph);
+
+        let snapshot = kernel.egraph.serialize();
+        let mut resumed = EGraph::deserialize(&snapshot)
+            .map_err(|e| TestCaseError::fail(format!("deserialize failed: {e}")))?;
+        prop_assert!(resumed.state_eq(&kernel.egraph), "snapshot is not state-equal");
+        prop_assert_eq!(resumed.serialize(), snapshot);
+
+        // resume saturation on both graphs with a fresh budget each
+        runner.run(&mut kernel.egraph);
+        runner.run(&mut resumed);
+        // resumed saturation must not diverge from the in-memory graph
+        prop_assert_eq!(resumed.serialize(), kernel.egraph.serialize());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cold run without a cache, cold run that *fills* a cache, and warm
+    /// run that *hits* it must all print the same bytes — and the warm
+    /// run must report the `selected` level, i.e. actually skip
+    /// saturation and extraction rather than silently recompute.
+    #[test]
+    fn warm_pipeline_run_is_byte_identical_and_selected(seed in 0u64..u64::MAX) {
+        let gk = generate_kernel(seed, &GenConfig::default());
+        let uncached = optimize_source(&gk.source, Variant::AccSat, &small_config(None));
+        let cfg = small_config(Some(Arc::new(StageCache::in_memory())));
+        let cold = optimize_source(&gk.source, Variant::AccSat, &cfg);
+        let warm = optimize_source(&gk.source, Variant::AccSat, &cfg);
+        match (uncached, cold, warm) {
+            (Ok((plain, _, _)), Ok((cold_out, _, _)), Ok((warm_out, stats, level))) => {
+                prop_assert_eq!(&cold_out, &plain);
+                prop_assert_eq!(&warm_out, &plain);
+                prop_assert_eq!(level, CacheLevel::Selected);
+                for s in &stats {
+                    prop_assert_eq!(s.cache_level, CacheLevel::Selected);
+                }
+            }
+            // a kernel the pipeline rejects must be rejected identically
+            // cold and warm (and never differently with a cache attached)
+            (Err(a), Err(b), Err(c)) => {
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(&a, &c);
+            }
+            (u, c, w) => {
+                return Err(TestCaseError::fail(format!(
+                    "cache changed success: uncached {:?} cold {:?} warm {:?}",
+                    u.is_ok(), c.is_ok(), w.is_ok()
+                )));
+            }
+        }
+    }
+}

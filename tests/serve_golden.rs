@@ -1,0 +1,28 @@
+//! Golden-transcript test for `accsat serve`: a recorded session — ping,
+//! a cold optimize, a stats barrier, the same kernel warm, stats, quit —
+//! must replay byte-for-byte at any worker-thread count. CI replays the
+//! same two files through the release binary (`tests/golden/`), so the
+//! recorded transcript is simultaneously the unit pin and the smoke-test
+//! oracle.
+//!
+//! The `stats` requests double as barriers: `stats` drains all in-flight
+//! work before answering, so the cache counters — and which request gets
+//! the miss — are deterministic even with concurrent workers.
+
+use accsat::{run_session, ServeConfig};
+use std::path::Path;
+
+#[test]
+fn recorded_session_replays_byte_identically_at_any_thread_count() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let input = std::fs::read_to_string(root.join("tests/golden/serve_session.txt")).unwrap();
+    let golden =
+        std::fs::read_to_string(root.join("tests/golden/serve_transcript.golden")).unwrap();
+    for threads in [1usize, 2, 8] {
+        let mut out = Vec::new();
+        let cfg = ServeConfig { threads, ..ServeConfig::default() };
+        run_session(input.as_bytes(), &mut out, &cfg).unwrap();
+        let got = String::from_utf8(out).unwrap();
+        assert_eq!(got, golden, "transcript drifted at {threads} worker threads");
+    }
+}
