@@ -41,11 +41,13 @@
 //! do not bind at benchmark sizes; a run that does hit one falls back to
 //! sound-but-unproven results.)
 
+use crate::metrics::add_opt_stats;
 use crate::pipeline::{optimize_function, tune_function, OptStats, SaturatorConfig, Variant};
 use accsat_autotune::TuneConfig;
 use accsat_benchmarks::Benchmark;
 use accsat_egraph::ThreadBudget;
 use accsat_ir::{parse_program, print_program, Program};
+use accsat_obs::{trace, MetricsRegistry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -166,6 +168,22 @@ impl BatchReport {
     /// compressed into `wall`.
     pub fn sequential_work(&self) -> Duration {
         self.benchmarks.iter().flat_map(|b| b.functions.iter()).map(|f| f.wall).sum()
+    }
+
+    /// Fold every kernel's deterministic counters into one registry, in
+    /// suite order. Registry merging is commutative, so the rendered
+    /// report is byte-identical at any `--threads` — the `--metrics`
+    /// file can be diffed across thread counts and cache states
+    /// (modulo `cache.request.*`, which legitimately warms up).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.add("benchmarks", self.benchmarks.len() as u64);
+        for b in &self.benchmarks {
+            for s in b.kernel_stats() {
+                add_opt_stats(&mut reg, s);
+            }
+        }
+        reg
     }
 
     /// Render the per-benchmark summary as an ASCII table.
@@ -419,8 +437,11 @@ fn run_suite(
     // parse up-front (cheap, sequential, deterministic), then flatten the
     // suite into (benchmark, function) work items
     let mut programs: Vec<Program> = Vec::with_capacity(benches.len());
-    for b in benches {
-        programs.push(parse_program(&b.acc_source).map_err(|e| format!("{}: {e}", b.name))?);
+    {
+        let _parse_span = trace::span("batch", "parse");
+        for b in benches {
+            programs.push(parse_program(&b.acc_source).map_err(|e| format!("{}: {e}", b.name))?);
+        }
     }
     let bindings: Vec<std::collections::HashMap<String, i64>> =
         benches.iter().map(|b| b.bindings_map()).collect();
@@ -458,6 +479,7 @@ fn run_suite(
             break;
         };
         let f = &programs[bi].functions[fi];
+        let _item_span = trace::span_named("batch", || format!("{} {}", benches[bi].name, f.name));
         let t = Instant::now();
         let r = match tune {
             Some(tcfg) => tune_function(f, variant, &cfg, tcfg, &bindings[bi]),

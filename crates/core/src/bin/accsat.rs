@@ -9,11 +9,12 @@
 //! Usage:
 //! ```text
 //! accsat [--variant cse|cse+sat|cse+bulk|accsat] [--sat-threads N]
-//!        [-o OUT.c] INPUT.c
+//!        [--metrics OUT.txt] [--trace-out OUT.json] [-o OUT.c] INPUT.c
 //! accsat --stats INPUT.c            # print per-kernel optimizer stats
 //! accsat batch [--suite npb|spec|all] [--threads N] [--sat-threads N]
 //!              [--variant V] [--deadline-ms D] [--extract-budget NODES]
 //!              [--json OUT.json] [--shard I/N] [--tune]
+//!              [--metrics OUT.txt] [--trace-out OUT.json]
 //!              # full pipeline over a whole benchmark suite, in parallel
 //! accsat tune  [--suite npb|spec|all] [--threads N] [--sat-threads N]
 //!              [--device pcie|sxm] [--compiler nvhpc|gcc] [--sweep H1,H2,…]
@@ -29,12 +30,21 @@
 //!              # --cache additionally runs every case cold *and* warm
 //!              # through the stage cache and reports any divergence
 //! accsat serve [--threads N] [--cache-dir DIR] [--cache-cap N]
-//!              [--socket PATH]
+//!              [--socket PATH] [--trace-out OUT.json]
 //!              # persistent optimization service: line-delimited requests
 //!              # on stdin (or a Unix socket), one JSON response per line,
 //!              # whole pipeline stages amortized across requests through
 //!              # the content-addressed cache (see DESIGN.md)
+//! accsat trace-check TRACE.json
+//!              # validate a --trace-out file: JSON well-formedness, event
+//!              # fields, per-thread span nesting; prints a summary line
 //! ```
+//!
+//! `--metrics` writes the deterministic counter/histogram report of
+//! `accsat-obs` — byte-identical at any thread count. `--trace-out`
+//! arms the hierarchical tracer and writes a Chrome trace event file
+//! (load it at `ui.perfetto.dev`); traces contain wall-clock timings
+//! and are *not* deterministic. See DESIGN.md §Observability.
 //!
 //! `--sat-threads` controls the *parallel rule search inside saturation*
 //! (distinct from `--threads`, the worker pool over kernels or fuzz
@@ -61,20 +71,73 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: accsat [--variant cse|cse+sat|cse+bulk|accsat] [--sat-threads N] [--stats]\n\
-         \x20            [-o OUT.c] INPUT.c\n\
+         \x20            [--metrics OUT.txt] [--trace-out OUT.json] [-o OUT.c] INPUT.c\n\
                 accsat batch [--suite npb|spec|all] [--threads N] [--sat-threads N]\n\
          \x20            [--variant V] [--deadline-ms D] [--extract-budget NODES]\n\
          \x20            [--json OUT.json] [--stable-json OUT.json] [--shard I/N]\n\
-         \x20            [--cache-dir DIR] [--tune]\n\
+         \x20            [--cache-dir DIR] [--tune] [--metrics OUT.txt]\n\
+         \x20            [--trace-out OUT.json]\n\
                 accsat tune [--suite npb|spec|all] [--threads N] [--sat-threads N]\n\
          \x20            [--device pcie|sxm] [--compiler nvhpc|gcc] [--sweep H1,H2,...]\n\
          \x20            [--keep K] [--shard I/N] [--json OUT.json]\n\
                 accsat fuzz [--cases N] [--seed S] [--threads T] [--sat-threads N]\n\
          \x20            [--json OUT.json] [--corpus DIR] [--cache] [--cache-dir DIR]\n\
+         \x20            [--trace-out OUT.json]\n\
                 accsat serve [--threads N] [--cache-dir DIR] [--cache-cap N]\n\
-         \x20            [--socket PATH]"
+         \x20            [--socket PATH] [--trace-out OUT.json]\n\
+                accsat trace-check TRACE.json"
     );
     ExitCode::from(2)
+}
+
+/// Disarm the tracer and write the rendered Chrome trace to `path`.
+/// Call only after `trace::start()` — i.e. when `--trace-out` was given.
+fn write_trace(path: &str, tool: &str) -> Result<(), ExitCode> {
+    let json = accsat::obs::trace::finish().expect("tracer armed by --trace-out");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("{tool}: cannot write trace {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    eprintln!("{tool}: trace written to {path} (load at ui.perfetto.dev)");
+    Ok(())
+}
+
+/// `accsat trace-check`: validate a `--trace-out` file — JSON
+/// well-formedness, per-event required fields, per-thread span nesting —
+/// and print a one-line summary. CI runs this on its smoke traces.
+fn trace_check_main(args: Vec<String>) -> ExitCode {
+    let [path] = args.as_slice() else {
+        eprintln!("usage: accsat trace-check TRACE.json");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("accsat trace-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match accsat::obs::validate::validate_trace(&src) {
+        Ok(s) => {
+            println!(
+                "trace ok: {} events ({} spans, {} instants, {} counter samples) \
+                 on {} thread{}, {:.1} ms, categories: {}",
+                s.events,
+                s.spans,
+                s.instants,
+                s.counters,
+                s.threads,
+                if s.threads == 1 { "" } else { "s" },
+                s.span_end_us as f64 / 1e3,
+                s.categories.join(","),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("accsat trace-check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Parse a `--shard I/N` operand.
@@ -104,6 +167,8 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
     let mut par = ParallelConfig::default();
     let mut json: Option<String> = None;
     let mut stable_json: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut cache_dir: Option<String> = None;
     let mut extract_budget: Option<u64> = None;
     let mut sat_threads: Option<usize> = None;
@@ -168,6 +233,20 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
                 Some(path) => stable_json = Some(path),
                 None => {
                     eprintln!("--stable-json needs an output path");
+                    return usage();
+                }
+            },
+            "--metrics" => match it.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("--metrics needs an output path");
+                    return usage();
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs an output path");
                     return usage();
                 }
             },
@@ -274,6 +353,9 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
             }
         }
     }
+    if trace_out.is_some() {
+        accsat::obs::trace::start();
+    }
     let report = if tune_mode {
         tune_suite(&benches, variant, &config, &tcfg, &par)
     } else {
@@ -343,6 +425,23 @@ fn batch_main(args: Vec<String>, mut tune_mode: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = metrics_out {
+        // the deterministic counter/histogram report: byte-identical at
+        // any --threads — CI diffs this file across thread counts
+        let mut reg = report.metrics();
+        if let Some(cache) = &config.cache {
+            cache.stats().add_to(&mut reg);
+        }
+        if let Err(e) = std::fs::write(&path, reg.to_text()) {
+            eprintln!("accsat batch: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &trace_out {
+        if let Err(code) = write_trace(path, "accsat batch") {
+            return code;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -353,6 +452,7 @@ fn fuzz_main(args: Vec<String>) -> ExitCode {
     let mut fc = FuzzConfig::default();
     let mut json: Option<String> = None;
     let mut corpus: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -410,6 +510,13 @@ fn fuzz_main(args: Vec<String>) -> ExitCode {
                     return usage();
                 }
             },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs an output path");
+                    return usage();
+                }
+            },
             _ => {
                 eprintln!("unknown fuzz flag: {arg}");
                 return usage();
@@ -417,6 +524,9 @@ fn fuzz_main(args: Vec<String>) -> ExitCode {
         }
     }
 
+    if trace_out.is_some() {
+        accsat::obs::trace::start();
+    }
     let t = std::time::Instant::now();
     let report = run_campaign(&fc);
     let wall = t.elapsed().as_secs_f64();
@@ -448,6 +558,11 @@ fn fuzz_main(args: Vec<String>) -> ExitCode {
             }
         }
     }
+    if let Some(path) = &trace_out {
+        if let Err(code) = write_trace(path, "accsat fuzz") {
+            return code;
+        }
+    }
     if report.failures.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -464,6 +579,7 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     let mut cache_dir: Option<String> = None;
     let mut cache_cap: Option<usize> = None;
     let mut socket: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -496,6 +612,13 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                     return usage();
                 }
             },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs an output path");
+                    return usage();
+                }
+            },
             _ => {
                 eprintln!("unknown serve flag: {arg}");
                 return usage();
@@ -508,7 +631,8 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     let cache = match &cache_dir {
         Some(dir) => {
             let dir = std::path::PathBuf::from(dir);
-            if let Err(e) = std::fs::create_dir_all(dir.join("sat"))
+            if let Err(e) = std::fs::create_dir_all(dir.join("parsed"))
+                .and_then(|()| std::fs::create_dir_all(dir.join("sat")))
                 .and_then(|()| std::fs::create_dir_all(dir.join("sel")))
             {
                 eprintln!("accsat serve: cannot open cache dir {}: {e}", dir.display());
@@ -520,6 +644,9 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     };
     cfg.saturator.cache = Some(std::sync::Arc::new(cache));
 
+    if trace_out.is_some() {
+        accsat::obs::trace::start();
+    }
     let result = match socket {
         Some(path) => {
             #[cfg(unix)]
@@ -537,6 +664,11 @@ fn serve_main(args: Vec<String>) -> ExitCode {
         // a `Send` sink, and the lock guard is thread-bound
         None => run_session(std::io::stdin().lock(), std::io::stdout(), &cfg),
     };
+    if let Some(path) = &trace_out {
+        if let Err(code) = write_trace(path, "accsat serve") {
+            return code;
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -553,11 +685,14 @@ fn main() -> ExitCode {
         Some("tune") => return batch_main(args.into_iter().skip(1).collect(), true),
         Some("fuzz") => return fuzz_main(args.into_iter().skip(1).collect()),
         Some("serve") => return serve_main(args.into_iter().skip(1).collect()),
+        Some("trace-check") => return trace_check_main(args.into_iter().skip(1).collect()),
         _ => {}
     }
     let mut variant = Variant::AccSat;
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut stats = false;
     let mut config = SaturatorConfig::default();
 
@@ -579,6 +714,20 @@ fn main() -> ExitCode {
                 }
             },
             "--stats" => stats = true,
+            "--metrics" => match it.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("--metrics needs an output path");
+                    return usage();
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs an output path");
+                    return usage();
+                }
+            },
             "-o" => output = it.next(),
             "-h" | "--help" => return usage(),
             other if !other.starts_with('-') => input = Some(other.to_string()),
@@ -590,6 +739,9 @@ fn main() -> ExitCode {
     }
 
     let Some(input) = input else { return usage() };
+    if trace_out.is_some() {
+        accsat::obs::trace::start();
+    }
     let src = match std::fs::read_to_string(&input) {
         Ok(s) => s,
         Err(e) => {
@@ -636,6 +788,21 @@ fn main() -> ExitCode {
             }
         }
         None => print!("{text}"),
+    }
+    if let Some(path) = metrics_out {
+        let mut reg = accsat::obs::MetricsRegistry::new();
+        for s in &kernel_stats {
+            accsat::metrics::add_opt_stats(&mut reg, s);
+        }
+        if let Err(e) = std::fs::write(&path, reg.to_text()) {
+            eprintln!("accsat: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &trace_out {
+        if let Err(code) = write_trace(path, "accsat") {
+            return code;
+        }
     }
     ExitCode::SUCCESS
 }

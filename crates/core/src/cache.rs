@@ -5,10 +5,12 @@
 //! a re-submitted (or cosmetically edited) kernel reuses the expensive
 //! stages instead of redoing them. Three stage levels are cached:
 //!
-//! * **parsed** — raw source bytes → parsed [`Program`] (in-memory only;
-//!   parsing is cheap, this level mostly exists so an unchanged request
-//!   never re-parses and so the service can report *some* reuse even when
-//!   the kernel-level entries were evicted).
+//! * **parsed** — raw source bytes → parsed [`Program`]. Persisted to
+//!   `parsed/` in disk-backed caches as the canonical printed program
+//!   (the printer round-trips, so re-parsing on promotion is lossless);
+//!   parsing is cheap, so this level mostly exists so an unchanged
+//!   request never re-parses and a restarted serve daemon keeps its
+//!   parsed floor.
 //! * **saturated** — kernel hash → full-fidelity serialized e-graph (see
 //!   `accsat_egraph::serialize`) plus the saturation metadata the reports
 //!   need (iterations, stop reason, per-rule stats).
@@ -39,8 +41,9 @@
 //! for byte-identical request sequences.
 
 use crate::pipeline::{SaturatorConfig, Variant};
-use accsat_egraph::{RuleStats, StopReason};
+use accsat_egraph::{IterCounts, RuleStats, StopReason};
 use accsat_ir::{fingerprint_block, fnv1a, fnv1a_mix, Block, Program};
+use accsat_obs::trace;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -87,6 +90,9 @@ pub struct SatEntry {
     pub stop: Option<StopReason>,
     /// Per-rule statistics of the original run.
     pub rule_stats: Vec<RuleStats>,
+    /// Deterministic per-iteration counters of the original run, so a
+    /// warm hit replays the exact metrics the cold run measured.
+    pub iter_counts: Vec<IterCounts>,
 }
 
 /// Cached outcome of the extraction stage.
@@ -104,10 +110,17 @@ pub struct SelEntry {
     pub explored: u64,
     /// Certified lower bound.
     pub lower_bound: u64,
+    /// Candidates removed per pruning layer (orbit, dominance, closure)
+    /// while building the search context of the original extraction.
+    pub pruned: [usize; 3],
 }
 
-const SAT_HEADER: &str = "accsat-stage sat v1";
-const SEL_HEADER: &str = "accsat-stage sel v1";
+// v2: sat entries persist per-iteration counters, sel entries persist the
+// pruning-layer counts. v1 entries fail the header check and read as
+// misses, exactly as the module docs promise for format bumps.
+const SAT_HEADER: &str = "accsat-stage sat v2";
+const SEL_HEADER: &str = "accsat-stage sel v2";
+const PARSED_HEADER: &str = "accsat-stage parsed v1";
 
 fn stop_token(stop: Option<StopReason>) -> &'static str {
     match stop {
@@ -136,15 +149,27 @@ impl SatEntry {
         let mut out = String::new();
         out.push_str(SAT_HEADER);
         out.push('\n');
-        let _ = writeln!(out, "meta {} {} {}", self.iters, stop_token(self.stop), {
-            self.rule_stats.len()
-        });
+        let _ = writeln!(
+            out,
+            "meta {} {} {} {}",
+            self.iters,
+            stop_token(self.stop),
+            self.rule_stats.len(),
+            self.iter_counts.len()
+        );
         for r in &self.rule_stats {
             debug_assert!(!r.name.chars().any(char::is_whitespace));
             let _ = writeln!(
                 out,
                 "r {} {} {} {} {}",
                 r.name, r.matches, r.applied, r.times_banned, r.banned_iters
+            );
+        }
+        for it in &self.iter_counts {
+            let _ = writeln!(
+                out,
+                "i {} {} {} {}",
+                it.matches, it.applied, it.total_nodes, it.num_classes
             );
         }
         out.push_str("egraph\n");
@@ -173,6 +198,7 @@ impl SatEntry {
         let iters: usize = next()?.parse().map_err(|e| format!("bad iters: {e}"))?;
         let stop = parse_stop_token(next()?)?;
         let n_rules: usize = next()?.parse().map_err(|e| format!("bad rule count: {e}"))?;
+        let n_iters: usize = next()?.parse().map_err(|e| format!("bad iter count: {e}"))?;
         let mut rule_stats = Vec::with_capacity(n_rules);
         for _ in 0..n_rules {
             let line = take_line("rule stats")?;
@@ -193,10 +219,28 @@ impl SatEntry {
                 banned_iters: num("banned_iters")?,
             });
         }
+        let mut iter_counts = Vec::with_capacity(n_iters);
+        for _ in 0..n_iters {
+            let line = take_line("iteration counts")?;
+            let mut toks = line.split_whitespace();
+            let mut next = || toks.next().ok_or_else(|| format!("truncated iter line {line:?}"));
+            if next()? != "i" {
+                return Err(format!("bad iter line {line:?}"));
+            }
+            let mut num = |what: &str| -> Result<usize, String> {
+                next()?.parse().map_err(|e| format!("bad {what}: {e}"))
+            };
+            iter_counts.push(IterCounts {
+                matches: num("matches")?,
+                applied: num("applied")?,
+                total_nodes: num("total_nodes")?,
+                num_classes: num("num_classes")?,
+            });
+        }
         if take_line("egraph marker")? != "egraph" {
             return Err("missing egraph marker".into());
         }
-        Ok(SatEntry { egraph: rest.to_string(), iters, stop, rule_stats })
+        Ok(SatEntry { egraph: rest.to_string(), iters, stop, rule_stats, iter_counts })
     }
 }
 
@@ -209,11 +253,14 @@ impl SelEntry {
         out.push('\n');
         let _ = writeln!(
             out,
-            "meta {} {} {} {} {}",
+            "meta {} {} {} {} {} {} {} {}",
             self.cost,
             u8::from(self.proven),
             self.explored,
             self.lower_bound,
+            self.pruned[0],
+            self.pruned[1],
+            self.pruned[2],
             self.winner
         );
         out.push_str("selection\n");
@@ -243,10 +290,14 @@ impl SelEntry {
         };
         let explored: u64 = next()?.parse().map_err(|e| format!("bad explored: {e}"))?;
         let lower_bound: u64 = next()?.parse().map_err(|e| format!("bad bound: {e}"))?;
+        let mut pruned = [0usize; 3];
+        for slot in &mut pruned {
+            *slot = next()?.parse().map_err(|e| format!("bad pruned: {e}"))?;
+        }
         let winner = next()?.to_string();
         let selection =
             rest.strip_prefix("selection\n").ok_or("missing selection marker")?.to_string();
-        Ok(SelEntry { selection, cost, proven, winner, explored, lower_bound })
+        Ok(SelEntry { selection, cost, proven, winner, explored, lower_bound, pruned })
     }
 }
 
@@ -299,6 +350,12 @@ pub struct CacheStats {
     pub sel_misses: u64,
     /// Entries evicted (all levels, memory + disk).
     pub evictions: u64,
+    /// Single-flight claims of a selection key that some earlier request
+    /// had already claimed — the requests eligible to coalesce onto a
+    /// prior computation. Counted by claim history, not by who actually
+    /// blocked, so the value depends only on the request sequence, never
+    /// on thread timing.
+    pub coalesced: u64,
 }
 
 impl CacheStats {
@@ -307,7 +364,8 @@ impl CacheStats {
         format!(
             concat!(
                 "{{\"parsed_hits\":{},\"parsed_misses\":{},\"sat_hits\":{},",
-                "\"sat_misses\":{},\"sel_hits\":{},\"sel_misses\":{},\"evictions\":{}}}"
+                "\"sat_misses\":{},\"sel_hits\":{},\"sel_misses\":{},",
+                "\"evictions\":{},\"coalesced\":{}}}"
             ),
             self.parsed_hits,
             self.parsed_misses,
@@ -315,8 +373,21 @@ impl CacheStats {
             self.sat_misses,
             self.sel_hits,
             self.sel_misses,
-            self.evictions
+            self.evictions,
+            self.coalesced
         )
+    }
+
+    /// Fold the counters into a metrics registry under `cache.*` names.
+    pub fn add_to(&self, reg: &mut accsat_obs::MetricsRegistry) {
+        reg.add("cache.parsed.hits", self.parsed_hits);
+        reg.add("cache.parsed.misses", self.parsed_misses);
+        reg.add("cache.sat.hits", self.sat_hits);
+        reg.add("cache.sat.misses", self.sat_misses);
+        reg.add("cache.sel.hits", self.sel_hits);
+        reg.add("cache.sel.misses", self.sel_misses);
+        reg.add("cache.evictions", self.evictions);
+        reg.add("cache.coalesced", self.coalesced);
     }
 }
 
@@ -370,6 +441,9 @@ pub struct StageCache {
     /// request coalescing (see [`StageCache::single_flight`]).
     in_flight: Mutex<HashSet<u64>>,
     in_flight_done: Condvar,
+    /// Every key ever claimed via [`StageCache::single_flight`], for the
+    /// deterministic `coalesced` counter.
+    ever_flown: Mutex<HashSet<u64>>,
 }
 
 impl std::fmt::Debug for StageCache {
@@ -395,6 +469,7 @@ impl StageCache {
 
     /// Cache backed by `dir` (created if missing) with default capacities.
     pub fn with_dir(dir: &Path) -> std::io::Result<StageCache> {
+        std::fs::create_dir_all(dir.join("parsed"))?;
         std::fs::create_dir_all(dir.join("sat"))?;
         std::fs::create_dir_all(dir.join("sel"))?;
         Ok(StageCache::new(Some(dir.to_path_buf()), DEFAULT_MEM_CAPACITY, DEFAULT_DISK_CAPACITY))
@@ -412,6 +487,7 @@ impl StageCache {
             stats: Mutex::new(CacheStats::default()),
             in_flight: Mutex::new(HashSet::new()),
             in_flight_done: Condvar::new(),
+            ever_flown: Mutex::new(HashSet::new()),
         }
     }
 
@@ -425,6 +501,12 @@ impl StageCache {
     /// first computes and populates the cache, the rest wait and then hit
     /// — deterministic cache levels instead of thundering-herd misses.
     pub fn single_flight(&self, key: u64) -> FlightGuard<'_> {
+        if !self.ever_flown.lock().expect("ever-flown lock").insert(key) {
+            // a repeat claim: this request could have coalesced onto the
+            // first one (and does, whenever they overlap in time)
+            self.stats.lock().expect("cache stats lock").coalesced += 1;
+            trace::instant("cache", "coalesce", || vec![("key", format!("{key:016x}").into())]);
+        }
         let mut set = self.in_flight.lock().expect("in-flight lock");
         while set.contains(&key) {
             set = self.in_flight_done.wait(set).expect("in-flight wait");
@@ -433,24 +515,56 @@ impl StageCache {
         FlightGuard { cache: self, key }
     }
 
-    /// Look up a parsed program by source hash.
+    /// Look up a parsed program by source hash: memory first, then (for
+    /// disk-backed caches) the `parsed/` stage directory, whose entries
+    /// store the canonical printed program and re-parse on promotion (the
+    /// printer round-trips by construction — it is the same text the
+    /// golden tests diff).
     pub fn get_parsed(&self, src_hash: u64) -> Option<Arc<Program>> {
         let got = self.parsed.lock().expect("parsed lock").map.get(&src_hash).cloned();
-        let mut stats = self.stats.lock().expect("cache stats lock");
-        match got {
-            Some(p) => {
-                stats.parsed_hits += 1;
-                Some(p)
-            }
-            None => {
-                stats.parsed_misses += 1;
-                None
+        if let Some(p) = &got {
+            self.stats.lock().expect("cache stats lock").parsed_hits += 1;
+            self.probe("parsed", true);
+            return Some(p.clone());
+        }
+        if let Some(dir) = &self.dir {
+            if let Some(prog) =
+                std::fs::read_to_string(entry_path(dir, "parsed", src_hash)).ok().and_then(|text| {
+                    let body = text.strip_prefix(PARSED_HEADER)?.strip_prefix('\n')?;
+                    accsat_ir::parse_program(body).ok()
+                })
+            {
+                let prog = Arc::new(prog);
+                self.promote_parsed(src_hash, prog.clone());
+                self.stats.lock().expect("cache stats lock").parsed_hits += 1;
+                self.probe("parsed", true);
+                return Some(prog);
             }
         }
+        self.stats.lock().expect("cache stats lock").parsed_misses += 1;
+        self.probe("parsed", false);
+        None
     }
 
-    /// Store a parsed program under its source hash (in-memory only).
+    /// Store a parsed program under its source hash — in memory, and for
+    /// disk-backed caches also in the `parsed/` stage directory, so a
+    /// restarted serve daemon recovers its parsed floor like the sat/sel
+    /// levels.
     pub fn put_parsed(&self, src_hash: u64, prog: Arc<Program>) {
+        if let Some(dir) = self.dir.clone() {
+            let mut text = String::from(PARSED_HEADER);
+            text.push('\n');
+            text.push_str(&accsat_ir::print_program(&prog));
+            let evicted = self.write_disk(&dir, "parsed", src_hash, &text).unwrap_or(0);
+            if evicted > 0 {
+                self.stats.lock().expect("cache stats lock").evictions += evicted;
+            }
+        }
+        self.promote_parsed(src_hash, prog);
+    }
+
+    /// Insert into the in-memory parsed shelf with FIFO eviction.
+    fn promote_parsed(&self, src_hash: u64, prog: Arc<Program>) {
         let mut guard = self.parsed.lock().expect("parsed lock");
         let ParsedShelf { map, order } = &mut *guard;
         if map.insert(src_hash, prog).is_none() {
@@ -498,6 +612,26 @@ impl StageCache {
             ("sel", false) => stats.sel_misses += 1,
             _ => unreachable!("unknown cache level {level}"),
         }
+        drop(stats);
+        self.probe(level, hit);
+    }
+
+    /// Trace a cache probe (diagnostic only — the counters above are the
+    /// deterministic record).
+    fn probe(&self, level: &str, hit: bool) {
+        if !accsat_obs::trace::enabled() {
+            return;
+        }
+        let name: &'static str = match (level, hit) {
+            ("parsed", true) => "parsed.hit",
+            ("parsed", false) => "parsed.miss",
+            ("sat", true) => "sat.hit",
+            ("sat", false) => "sat.miss",
+            ("sel", true) => "sel.hit",
+            ("sel", false) => "sel.miss",
+            _ => "probe",
+        };
+        trace::instant("cache", name, Vec::new);
     }
 
     fn get_entry(&self, shelf: &Mutex<Shelf>, level: &str, key: u64) -> Option<Arc<String>> {
@@ -523,6 +657,9 @@ impl StageCache {
     }
 
     fn put_entry(&self, shelf: &Mutex<Shelf>, level: &str, key: u64, text: String) {
+        let _span = trace::span_args("cache", "fill", || {
+            vec![("level", level.to_string().into()), ("bytes", text.len().into())]
+        });
         let text = Arc::new(text);
         let mut evicted =
             shelf.lock().expect("shelf lock").insert(key, text.clone(), self.mem_capacity);
@@ -656,14 +793,21 @@ void k(double a[16], double out[16], double c0) {
                 times_banned: 1,
                 banned_iters: 2,
             }],
+            iter_counts: vec![
+                IterCounts { matches: 10, applied: 4, total_nodes: 50, num_classes: 30 },
+                IterCounts { matches: 2, applied: 0, total_nodes: 52, num_classes: 30 },
+            ],
         };
         let back = SatEntry::from_text(&sat.to_text()).unwrap();
         assert_eq!(back.iters, 3);
         assert_eq!(back.stop, Some(StopReason::Saturated));
         assert_eq!(back.rule_stats.len(), 1);
         assert_eq!(back.rule_stats[0].name, "COMM-ADD");
+        assert_eq!(back.iter_counts, sat.iter_counts);
         assert_eq!(back.egraph, sat.egraph);
         assert!(SatEntry::from_text("bogus\n").is_err());
+        // a v1 entry (no version bump migration) reads as a miss
+        assert!(SatEntry::from_text("accsat-stage sat v1\nmeta 0 none 0\negraph\n").is_err());
 
         let sel = SelEntry {
             selection: "accsat-selection v1 0\nend\n".into(),
@@ -672,10 +816,12 @@ void k(double a[16], double out[16], double c0) {
             winner: "greedy".into(),
             explored: 7,
             lower_bound: 120,
+            pruned: [5, 2, 9],
         };
         let back = SelEntry::from_text(&sel.to_text()).unwrap();
         assert_eq!((back.cost, back.proven, back.explored, back.lower_bound), (120, true, 7, 120));
         assert_eq!(back.winner, "greedy");
+        assert_eq!(back.pruned, [5, 2, 9]);
         assert_eq!(back.selection, sel.selection);
         assert!(SelEntry::from_text("bogus\n").is_err());
     }
@@ -690,6 +836,7 @@ void k(double a[16], double out[16], double c0) {
             winner: "greedy".into(),
             explored: 0,
             lower_bound: 0,
+            pruned: [0; 3],
         };
         cache.put_sel(1, &entry(1));
         cache.put_sel(2, &entry(2));
@@ -718,6 +865,7 @@ void k(double a[16], double out[16], double c0) {
                     winner: "refine".into(),
                     explored: 1,
                     lower_bound: 9,
+                    pruned: [0; 3],
                 },
             );
         }
@@ -750,6 +898,7 @@ void k(double a[16], double out[16], double c0) {
                                 winner: "greedy".into(),
                                 explored: 0,
                                 lower_bound: 1,
+                                pruned: [0; 3],
                             },
                         );
                     }
@@ -761,5 +910,34 @@ void k(double a[16], double out[16], double c0) {
             1,
             "only the first request computes; the rest coalesce"
         );
+        assert_eq!(
+            cache.stats().coalesced,
+            3,
+            "every repeat claim of an already-claimed key counts, at any interleaving"
+        );
+    }
+
+    #[test]
+    fn parsed_level_persists_to_disk() {
+        let dir = std::env::temp_dir().join(format!("accsat-parsed-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let prog = Arc::new(parse_program(KERNEL).unwrap());
+        let key = fnv1a(KERNEL.as_bytes());
+        {
+            let cache = StageCache::with_dir(&dir).unwrap();
+            cache.put_parsed(key, prog.clone());
+            assert!(cache.get_parsed(key).is_some());
+        }
+        // a fresh cache instance recovers the entry from disk, and the
+        // printed program round-trips exactly
+        let cache = StageCache::with_dir(&dir).unwrap();
+        let back = cache.get_parsed(key).expect("parsed entry survives the process boundary");
+        assert_eq!(accsat_ir::print_program(&back), accsat_ir::print_program(&prog));
+        let stats = cache.stats();
+        assert_eq!((stats.parsed_hits, stats.parsed_misses), (1, 0));
+        // in-memory caches still miss across instances
+        let mem = StageCache::in_memory();
+        assert!(mem.get_parsed(key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

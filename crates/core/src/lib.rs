@@ -39,6 +39,7 @@ pub mod batch;
 pub mod cache;
 pub mod evaluate;
 pub mod fuzz;
+pub mod metrics;
 pub mod pipeline;
 pub mod report;
 pub mod serve;
@@ -54,6 +55,7 @@ pub use fuzz::{
     check_kernel, check_seeded, minimize_function, run_campaign, run_case, CaseOutcome, Finding,
     FuzzConfig, FuzzReport,
 };
+pub use metrics::add_opt_stats;
 pub use pipeline::{
     optimize_function, optimize_program, optimize_program_with, tune_function, OptStats,
     SaturatorConfig, Variant,
@@ -72,6 +74,7 @@ pub use accsat_extract as extract;
 pub use accsat_gpusim as gpusim;
 pub use accsat_interp as interp;
 pub use accsat_ir as ir;
+pub use accsat_obs as obs;
 pub use accsat_ssa as ssa;
 
 #[cfg(test)]

@@ -5,12 +5,14 @@ use crate::cache::{sat_stage_key, sel_stage_key, CacheLevel, SatEntry, SelEntry,
 use accsat_autotune::{tune_kernel, KernelTuning, TuneConfig};
 use accsat_codegen::{generate, CodegenOptions, TypeMap};
 use accsat_egraph::{
-    all_rules, EGraph, Rewrite, RuleStats, Runner, RunnerLimits, StopReason, ThreadBudget,
+    all_rules, EGraph, IterCounts, Rewrite, RuleStats, Runner, RunnerLimits, StopReason,
+    ThreadBudget,
 };
 use accsat_extract::{
     extract_portfolio_budgeted, intern_strategy, CostModel, PortfolioConfig, Selection,
 };
 use accsat_ir::{Block, Function, Program, Stmt};
+use accsat_obs::trace;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -138,6 +140,11 @@ pub struct OptStats {
     /// Per-rule match/apply/ban statistics from the saturation runner
     /// (empty for variants that do not saturate).
     pub rule_stats: Vec<RuleStats>,
+    /// Deterministic per-iteration counters (matches, applied, nodes,
+    /// classes) of the saturation run, in iteration order. Persisted by
+    /// the stage cache, so warm runs report the same growth curve the
+    /// original run measured.
+    pub iteration_counts: Vec<IterCounts>,
     /// Total extracted DAG cost under the paper cost model.
     pub extracted_cost: u64,
     /// Did the extraction portfolio prove its selection optimal?
@@ -157,6 +164,10 @@ pub struct OptStats {
     /// the static cost the simulator deliberately spent. See
     /// [`OptStats::bound_gap`].
     pub extraction_lower_bound: u64,
+    /// Candidates removed per extraction pruning layer (orbit, dominance,
+    /// closure — in that order) while building the shared search context.
+    /// Zero in tune mode and for non-extracting cache hits.
+    pub extraction_pruned: [usize; 3],
     /// Per-candidate simulation report when the kernel was optimized by
     /// the simulation-guided tuner ([`tune_function`]); `None` for plain
     /// static-cost extraction.
@@ -248,7 +259,7 @@ fn tune_kernel_body(
     tm: &TypeMap,
 ) -> Result<(Block, OptStats), String> {
     let sat = saturate_body(body, variant, config);
-    let Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats } = sat;
+    let Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats, iter_counts } = sat;
 
     let t2 = Instant::now();
     let copts = CodegenOptions { bulk_load: variant.bulk_loads() };
@@ -280,11 +291,13 @@ fn tune_kernel_body(
         saturation_iters: iters,
         stop_reason: stop,
         rule_stats,
+        iteration_counts: iter_counts,
         extracted_cost: tuned.tuning.winning().static_cost,
         extraction_proven: tuned.tuning.winning().proven_optimal,
         extraction_winner: "tune",
         extraction_explored: 0,
         extraction_lower_bound: tuned.tuning.lower_bound,
+        extraction_pruned: [0; 3],
         tuning: Some(tuned.tuning),
         // tune mode ranks by *simulated cycles*, an objective the stage
         // cache does not key — it always runs cold
@@ -339,30 +352,36 @@ struct Saturated {
     iters: usize,
     stop: Option<StopReason>,
     rule_stats: Vec<RuleStats>,
+    iter_counts: Vec<IterCounts>,
 }
 
 /// SSA-construct and (for saturating variants) saturate one kernel body.
 fn saturate_body(body: &Block, variant: Variant, config: &SaturatorConfig) -> Saturated {
     // 1. SSA construction (paper step ①)
     let t0 = Instant::now();
-    let mut kernel = accsat_ssa::build_kernel(body);
+    let mut kernel = {
+        let _span = trace::span("pipeline", "ssa");
+        accsat_ssa::build_kernel(body)
+    };
     let ssa_time = t0.elapsed();
 
     // 2. equality saturation (step ②)
     let t1 = Instant::now();
-    let (iters, stop, rule_stats) = if variant.saturates() {
+    let _sat_span = trace::span("pipeline", "saturate");
+    let (iters, stop, rule_stats, iter_counts) = if variant.saturates() {
         let runner = Runner::from_shared(config.rules.clone())
             .with_limits(config.limits)
             .with_sat_threads(config.sat_threads)
             .with_budget(config.thread_budget.clone());
         let report = runner.run(&mut kernel.egraph);
-        (report.iterations.len(), Some(report.stop_reason), report.rule_stats)
+        let iter_counts = report.iteration_counts();
+        (report.iterations.len(), Some(report.stop_reason), report.rule_stats, iter_counts)
     } else {
         kernel.egraph.rebuild();
-        (0, None, Vec::new())
+        (0, None, Vec::new(), Vec::new())
     };
     let sat_time = t1.elapsed();
-    Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats }
+    Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats, iter_counts }
 }
 
 /// The extraction portfolio configuration derived from a [`SaturatorConfig`].
@@ -404,6 +423,7 @@ fn saturate_stage(
                     iters: entry.iters,
                     stop: entry.stop,
                     rule_stats: entry.rule_stats,
+                    iter_counts: entry.iter_counts,
                 },
                 CacheLevel::Saturated,
             );
@@ -418,6 +438,7 @@ fn saturate_stage(
             iters: sat.iters,
             stop: sat.stop,
             rule_stats: sat.rule_stats.clone(),
+            iter_counts: sat.iter_counts.clone(),
         },
     );
     (sat, CacheLevel::Miss)
@@ -463,11 +484,13 @@ fn try_selected_hit(
             saturation_iters: sat_entry.iters,
             stop_reason: sat_entry.stop,
             rule_stats: sat_entry.rule_stats,
+            iteration_counts: sat_entry.iter_counts,
             extracted_cost: sel_entry.cost,
             extraction_proven: sel_entry.proven,
             extraction_winner: winner,
             extraction_explored: sel_entry.explored,
             extraction_lower_bound: sel_entry.lower_bound,
+            extraction_pruned: sel_entry.pruned,
             tuning: None,
             cache_level: CacheLevel::Selected,
         },
@@ -482,6 +505,7 @@ pub fn optimize_kernel_body(
     tm: &TypeMap,
     fname: &str,
 ) -> Result<(Block, OptStats), String> {
+    let _kernel_span = trace::span_named("pipeline", || format!("kernel {fname}"));
     // With a cache configured, claim the kernel's selection key first so
     // concurrent identical requests coalesce (the first computes, the
     // rest wait and hit), then try the deepest cached level.
@@ -500,11 +524,12 @@ pub fn optimize_kernel_body(
     }
 
     let (sat, cache_level) = saturate_stage(body, variant, config);
-    let Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats } = sat;
+    let Saturated { kernel, ssa_time, sat_time, iters, stop, rule_stats, iter_counts } = sat;
 
     // 3. extraction (LP objective, step ② part II) — a portfolio of
     // branch-and-bound strategies racing under a deterministic budget
     let t2 = Instant::now();
+    let extract_span = trace::span("pipeline", "extract");
     let roots = kernel.extraction_roots();
     let cm = config.cost_model;
     let portfolio_cfg = portfolio_config(config);
@@ -517,6 +542,7 @@ pub fn optimize_kernel_body(
     );
     let cost = extraction.cost;
     let extract_time = t2.elapsed();
+    drop(extract_span);
     let selection = extraction.selection;
 
     if let (Some(cache), Some((_, sel_key))) = (config.cache.as_deref(), keys) {
@@ -529,6 +555,7 @@ pub fn optimize_kernel_body(
                 winner: extraction.winner.to_string(),
                 explored: extraction.workers.iter().map(|w| w.explored).sum(),
                 lower_bound: extraction.lower_bound,
+                pruned: extraction.pruned,
             },
         );
     }
@@ -536,7 +563,10 @@ pub fn optimize_kernel_body(
     // 4. code generation (step ③)
     let t3 = Instant::now();
     let opts = CodegenOptions { bulk_load: variant.bulk_loads() };
-    let new_body = generate(&kernel, &selection, tm, &opts);
+    let new_body = {
+        let _span = trace::span("pipeline", "codegen");
+        generate(&kernel, &selection, tm, &opts)
+    };
     let codegen_time = t3.elapsed();
 
     Ok((
@@ -550,11 +580,13 @@ pub fn optimize_kernel_body(
             saturation_iters: iters,
             stop_reason: stop,
             rule_stats,
+            iteration_counts: iter_counts,
             extracted_cost: cost,
             extraction_proven: extraction.proven_optimal,
             extraction_winner: extraction.winner,
             extraction_explored: extraction.workers.iter().map(|w| w.explored).sum(),
             extraction_lower_bound: extraction.lower_bound,
+            extraction_pruned: extraction.pruned,
             tuning: None,
             cache_level,
         },

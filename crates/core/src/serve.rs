@@ -16,8 +16,13 @@
 //!
 //! ```text
 //! ping                                        → {"status":"ok","event":"pong"}
-//! stats                                       → cache counters (after a barrier:
+//! stats                                       → cache counters + cumulative
+//!                                               requests-by-verb (after a barrier:
 //!                                               all in-flight requests drain first)
+//! metrics                                     → full deterministic metrics
+//!                                               registry (same barrier as stats):
+//!                                               saturation/extraction/rule/cache
+//!                                               counters merged over all requests
 //! optimize id=<id> variant=<v> bytes=<N>      → <N> bytes of C source follow the
 //!                                               newline; response carries the
 //!                                               optimized source and cache level
@@ -35,9 +40,11 @@
 //! levels in the responses are deterministic too.
 
 use crate::cache::{CacheLevel, StageCache};
+use crate::metrics::add_opt_stats;
 use crate::pipeline::{optimize_program_with, OptStats, SaturatorConfig, Variant};
 use accsat_egraph::ThreadBudget;
 use accsat_ir::{fnv1a, parse_program, print_program, Program};
+use accsat_obs::{trace, MetricsRegistry};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -141,9 +148,23 @@ fn error_line(id: Option<&str>, msg: &str) -> String {
     }
 }
 
-fn handle_optimize(job: &Job, config: &SaturatorConfig) -> String {
+fn handle_optimize(
+    job: &Job,
+    config: &SaturatorConfig,
+    metrics: &Mutex<MetricsRegistry>,
+) -> String {
+    let _span = trace::span_named("serve", || format!("request {}", job.id));
     match optimize_source(&job.source, job.variant, config) {
         Ok((text, stats, level)) => {
+            // fold this request's deterministic counters into the session
+            // registry off to the side; the merge is commutative, so the
+            // worker interleaving never shows in a `metrics` reply
+            let mut local = MetricsRegistry::new();
+            for s in &stats {
+                add_opt_stats(&mut local, s);
+            }
+            local.add("serve.responses.ok", 1);
+            metrics.lock().expect("metrics lock").merge(&local);
             let cost: u64 = stats.iter().map(|s| s.extracted_cost).sum();
             let proven = stats.iter().all(|s| s.extraction_proven);
             format!(
@@ -160,7 +181,10 @@ fn handle_optimize(job: &Job, config: &SaturatorConfig) -> String {
                 json_str(&text)
             )
         }
-        Err(e) => error_line(Some(&job.id), &e),
+        Err(e) => {
+            metrics.lock().expect("metrics lock").add("serve.responses.error", 1);
+            error_line(Some(&job.id), &e)
+        }
     }
 }
 
@@ -210,8 +234,12 @@ pub fn run_session<R: BufRead, W: Write + Send>(
     }
     let cache = saturator.cache.clone().expect("cache installed above");
     let workers = config.threads.max(1);
-    // in-flight request count, for the `stats` barrier
+    // in-flight request count, for the `stats`/`metrics` barrier
     let outstanding = Arc::new((Mutex::new(0usize), Condvar::new()));
+    // session-cumulative deterministic counters, merged in by workers
+    let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+    // requests seen, keyed by verb; only the (serial) reader touches this
+    let mut verbs: BTreeMap<&'static str, u64> = BTreeMap::new();
 
     std::thread::scope(|scope| -> std::io::Result<()> {
         let (job_tx, job_rx) = mpsc::channel::<Job>();
@@ -239,20 +267,40 @@ pub fn run_session<R: BufRead, W: Write + Send>(
             let res_tx = res_tx.clone();
             let saturator = saturator.clone();
             let outstanding = Arc::clone(&outstanding);
+            let metrics = Arc::clone(&metrics);
             scope.spawn(move || loop {
                 let job = job_rx.lock().expect("job queue lock").recv();
                 let Ok(job) = job else { break };
-                let line = handle_optimize(&job, &saturator);
+                let line = handle_optimize(&job, &saturator, &metrics);
                 let _ = res_tx.send((job.seq, line));
                 let (count, done) = &*outstanding;
-                *count.lock().expect("outstanding lock") -= 1;
+                let depth = {
+                    let mut n = count.lock().expect("outstanding lock");
+                    *n -= 1;
+                    *n
+                };
+                trace::counter("serve", "queue.depth", depth as u64);
                 done.notify_all();
             });
         }
 
         let enqueue = |job: Job| {
-            *outstanding.0.lock().expect("outstanding lock") += 1;
+            let depth = {
+                let mut n = outstanding.0.lock().expect("outstanding lock");
+                *n += 1;
+                *n
+            };
+            trace::counter("serve", "queue.depth", depth as u64);
             job_tx.send(job).expect("workers outlive the reader");
+        };
+
+        // drain every in-flight request so counters are deterministic
+        let barrier = || {
+            let (count, done) = &*outstanding;
+            let mut n = count.lock().expect("outstanding lock");
+            while *n > 0 {
+                n = done.wait(n).expect("outstanding wait");
+            }
         };
 
         let mut seq = 0u64;
@@ -270,6 +318,16 @@ pub fn run_session<R: BufRead, W: Write + Send>(
             seq += 1;
             let mut toks = trimmed.split_whitespace();
             let cmd = toks.next().expect("non-empty line has a token");
+            let verb: &'static str = match cmd {
+                "ping" => "ping",
+                "quit" => "quit",
+                "stats" => "stats",
+                "metrics" => "metrics",
+                "optimize" => "optimize",
+                "optimize-file" => "optimize-file",
+                _ => "unknown",
+            };
+            *verbs.entry(verb).or_insert(0) += 1;
             match cmd {
                 "ping" => {
                     let _ =
@@ -282,18 +340,36 @@ pub fn run_session<R: BufRead, W: Write + Send>(
                 "stats" => {
                     // barrier: every earlier request completes (and counts)
                     // before the snapshot, so the counters are deterministic
-                    let (count, done) = &*outstanding;
-                    let mut n = count.lock().expect("outstanding lock");
-                    while *n > 0 {
-                        n = done.wait(n).expect("outstanding wait");
-                    }
-                    drop(n);
-                    let stats = cache.stats();
+                    barrier();
+                    let requests: Vec<String> =
+                        verbs.iter().map(|(k, v)| format!("{}:{v}", json_str(k))).collect();
                     let _ = res_tx.send((
                         this_seq,
-                        format!("{{\"status\":\"ok\",\"event\":\"stats\",\"cache\":{}}}", {
-                            stats.to_json()
-                        }),
+                        format!(
+                            "{{\"status\":\"ok\",\"event\":\"stats\",\"cache\":{},\
+                             \"requests\":{{{}}}}}",
+                            cache.stats().to_json(),
+                            requests.join(","),
+                        ),
+                    ));
+                }
+                "metrics" => {
+                    // same barrier; the reply is the full deterministic
+                    // registry — per-request counters merged by the workers,
+                    // plus the cache snapshot and requests-by-verb, all
+                    // independent of worker count and interleaving
+                    barrier();
+                    let mut reg = metrics.lock().expect("metrics lock").clone();
+                    cache.stats().add_to(&mut reg);
+                    for (k, v) in &verbs {
+                        reg.add(&format!("serve.request.{k}"), *v);
+                    }
+                    let _ = res_tx.send((
+                        this_seq,
+                        format!(
+                            "{{\"status\":\"ok\",\"event\":\"metrics\",\"metrics\":{}}}",
+                            reg.to_json()
+                        ),
                     ));
                 }
                 "optimize" | "optimize-file" => {
@@ -394,9 +470,9 @@ mod tests {
         // even with four workers
         script.push_str("stats\n");
         script.push_str(&optimize_request("warm", "accsat", KERNEL));
-        script.push_str("stats\nquit\n");
+        script.push_str("stats\nmetrics\nquit\n");
         let lines = session(&script, &config);
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 7);
         assert_eq!(lines[0], "{\"status\":\"ok\",\"event\":\"pong\"}");
         assert!(lines[1].starts_with("{\"id\":\"cold\""));
         assert!(lines[1].contains("\"cache\":\"miss\""), "cold request: {}", lines[1]);
@@ -404,12 +480,29 @@ mod tests {
             lines[2],
             "{\"status\":\"ok\",\"event\":\"stats\",\"cache\":{\"parsed_hits\":0,\
              \"parsed_misses\":1,\"sat_hits\":0,\"sat_misses\":1,\"sel_hits\":0,\
-             \"sel_misses\":1,\"evictions\":0}}"
+             \"sel_misses\":1,\"evictions\":0,\"coalesced\":0},\
+             \"requests\":{\"optimize\":1,\"ping\":1,\"stats\":1}}"
         );
         assert!(lines[3].starts_with("{\"id\":\"warm\""));
         assert!(lines[3].contains("\"cache\":\"selected\""), "warm request: {}", lines[3]);
         assert!(lines[4].contains("\"sel_hits\":1"), "{}", lines[4]);
-        assert!(lines[5].contains("\"event\":\"bye\""));
+        assert!(lines[4].contains("\"requests\":{\"optimize\":2,\"ping\":1,\"stats\":2}"));
+        // the metrics reply merges worker registries + the cache snapshot
+        let m = &lines[5];
+        assert!(
+            m.starts_with("{\"status\":\"ok\",\"event\":\"metrics\",\"metrics\":{\"counters\":{")
+        );
+        for needle in [
+            "\"kernels\":2",
+            "\"serve.responses.ok\":2",
+            "\"cache.sel.hits\":1",
+            "\"cache.sel.misses\":1",
+            "\"serve.request.optimize\":2",
+            "\"serve.request.metrics\":1",
+        ] {
+            assert!(m.contains(needle), "metrics reply missing {needle}: {m}");
+        }
+        assert!(lines[6].contains("\"event\":\"bye\""));
         // warm and cold agree on everything but the cache level
         assert_eq!(
             lines[1].replace("\"id\":\"cold\"", "").replace("\"cache\":\"miss\"", ""),

@@ -46,12 +46,12 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use machine::{Inst, Program, RhsNode, VarSubst};
 pub use node::{Id, Node, Op};
 pub use pattern::{parse_pattern, Pattern, PatternNode, Subst};
-pub use pool::{Lease, ThreadBudget};
+pub use pool::{hardware_parallelism, Lease, ThreadBudget};
 pub use rewrite::{Rewrite, RuleMatch};
 pub use rules::{all_rules, assoc_rules, comm_rules, fma_rules, reorder_rules, rule_by_name};
 pub use runner::{
-    BackoffConfig, IterationStats, MatchEngine, RuleStats, Runner, RunnerLimits, RunnerReport,
-    StopReason,
+    BackoffConfig, IterCounts, IterationStats, MatchEngine, RuleStats, Runner, RunnerLimits,
+    RunnerReport, StopReason,
 };
 pub use serialize::{op_token, parse_op_token, EGRAPH_FORMAT_HEADER};
 pub use unionfind::UnionFind;

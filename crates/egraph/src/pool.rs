@@ -23,7 +23,9 @@
 //! therefore affects wall clock only; outputs are byte-identical whether
 //! a fan-out ran on one thread or eight.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+use accsat_obs::trace;
 
 /// A counted pool of spare worker-thread permits shared by one batch run.
 #[derive(Debug)]
@@ -86,21 +88,54 @@ impl Drop for Lease<'_> {
     }
 }
 
+/// The host's available hardware parallelism, queried once and cached.
+/// Falls back to 1 when the runtime cannot tell (e.g. a restricted
+/// container).
+pub fn hardware_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
 /// Effective width of a fan-out of `tasks` independent tasks: the calling
 /// thread plus either a budget lease (shared-pool mode) or the requested
 /// width outright (standalone mode, `budget = None`). Returns the lease so
 /// the permits survive until the fan-out joins.
+///
+/// The width is additionally clamped to [`hardware_parallelism`]: asking
+/// for 16 search threads on a 4-core host spawns 4. Threads beyond the
+/// core count cannot help a CPU-bound fan-out, and the outputs are
+/// thread-count-invariant by construction, so the clamp changes wall
+/// clock only.
 pub fn fanout_width<'a>(
     budget: Option<&'a ThreadBudget>,
     want: usize,
     tasks: usize,
 ) -> (usize, Option<Lease<'a>>) {
-    let want = want.clamp(1, tasks.max(1));
+    fanout_width_capped(budget, want, tasks, hardware_parallelism())
+}
+
+/// [`fanout_width`] with an explicit hardware cap instead of the host's
+/// (exposed so tests can pin the cap and stay host-independent).
+pub fn fanout_width_capped<'a>(
+    budget: Option<&'a ThreadBudget>,
+    want: usize,
+    tasks: usize,
+    cap: usize,
+) -> (usize, Option<Lease<'a>>) {
+    let want = want.min(cap.max(1)).clamp(1, tasks.max(1));
     match budget {
         None => (want, None),
         Some(b) => {
             let lease = b.lease(want - 1);
             let width = 1 + lease.extra();
+            trace::instant("pool", "lease", || {
+                vec![
+                    ("want", (want - 1).into()),
+                    ("taken", lease.extra().into()),
+                    ("width", width.into()),
+                    ("tasks", tasks.into()),
+                ]
+            });
             (width, Some(lease))
         }
     }
@@ -136,18 +171,39 @@ mod tests {
     #[test]
     fn fanout_width_modes() {
         // standalone: the requested width, clamped to the task count
-        let (w, l) = fanout_width(None, 8, 3);
+        let (w, l) = fanout_width_capped(None, 8, 3, 64);
         assert_eq!(w, 3);
         assert!(l.is_none());
         let b = ThreadBudget::new(1);
         // pooled: own thread plus whatever the budget spares
-        let (w, l) = fanout_width(Some(&b), 8, 16);
+        let (w, l) = fanout_width_capped(Some(&b), 8, 16, 64);
         assert_eq!(w, 2);
         drop(l);
         assert_eq!(b.spare(), 1);
         // a single task never leases anything
-        let (w, _l) = fanout_width(Some(&b), 8, 1);
+        let (w, _l) = fanout_width_capped(Some(&b), 8, 1, 64);
         assert_eq!(w, 1);
         assert_eq!(b.spare(), 1);
+    }
+
+    #[test]
+    fn fanout_width_clamps_to_hardware_cap() {
+        // requesting 16 threads on a 4-way host fans out 4 wide
+        let (w, _) = fanout_width_capped(None, 16, 32, 4);
+        assert_eq!(w, 4);
+        // a pooled fan-out leases at most cap-1 extra permits
+        let b = ThreadBudget::new(16);
+        let (w, l) = fanout_width_capped(Some(&b), 16, 32, 4);
+        assert_eq!(w, 4);
+        drop(l);
+        assert_eq!(b.spare(), 16);
+        // a degenerate cap of 0 still runs the fan-out serially
+        let (w, _) = fanout_width_capped(None, 16, 32, 0);
+        assert_eq!(w, 1);
+        // the real entry point agrees with the capped one at the host cap
+        let (w_real, _) = fanout_width(None, 2, 4);
+        let (w_capped, _) = fanout_width_capped(None, 2, 4, hardware_parallelism());
+        assert_eq!(w_real, w_capped);
+        assert!(hardware_parallelism() >= 1);
     }
 }

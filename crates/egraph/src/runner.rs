@@ -32,6 +32,7 @@ use crate::machine::VarSubst;
 use crate::node::Id;
 use crate::pool::ThreadBudget;
 use crate::rewrite::{Rewrite, RuleMatch};
+use accsat_obs::trace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -116,6 +117,33 @@ pub struct IterationStats {
     pub rebuild_time: Duration,
 }
 
+/// The deterministic counters of one iteration — [`IterationStats`] with
+/// the wall-clock fields stripped. This is what the metrics registry
+/// aggregates and the stage cache persists, so a cache hit replays the
+/// exact same metrics the original run produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterCounts {
+    /// Substitutions found by the search phase (before dedup).
+    pub matches: usize,
+    /// Rule applications that changed the e-graph.
+    pub applied: usize,
+    /// E-nodes ever added, as of the end of the iteration.
+    pub total_nodes: usize,
+    /// Live e-classes at the end of the iteration.
+    pub num_classes: usize,
+}
+
+impl From<&IterationStats> for IterCounts {
+    fn from(it: &IterationStats) -> IterCounts {
+        IterCounts {
+            matches: it.matches,
+            applied: it.applied,
+            total_nodes: it.total_nodes,
+            num_classes: it.num_classes,
+        }
+    }
+}
+
 /// Cumulative per-rule statistics over a saturation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuleStats {
@@ -168,6 +196,11 @@ impl RunnerReport {
     /// Cumulative wall time of the rebuild phases.
     pub fn rebuild_time(&self) -> Duration {
         self.iterations.iter().map(|i| i.rebuild_time).sum()
+    }
+
+    /// The wall-clock-free per-iteration counters, in iteration order.
+    pub fn iteration_counts(&self) -> Vec<IterCounts> {
+        self.iterations.iter().map(IterCounts::from).collect()
     }
 }
 
@@ -304,6 +337,9 @@ impl Runner {
     }
 
     fn run_compiled(&self, eg: &mut EGraph) -> RunnerReport {
+        let _run_span = trace::span_args("sat", "runner.run", || {
+            vec![("rules", self.rules.len().into()), ("threads", self.sat_threads.into())]
+        });
         let start = Instant::now();
         let mut iterations = Vec::new();
         let mut rule_stats: Vec<RuleStats> = self
@@ -322,6 +358,9 @@ impl Runner {
 
         let stop_reason = loop {
             let it = iterations.len();
+            let _iter_span = trace::span_args("sat", "iteration", || {
+                vec![("iter", it.into()), ("nodes", eg.total_nodes().into())]
+            });
             if it >= self.limits.iter_limit {
                 break StopReason::IterLimit;
             }
@@ -343,6 +382,7 @@ impl Runner {
             // rules still owe. Banned-rule bookkeeping happens up front so
             // the remaining tasks are independent of each other.
             let t_search = Instant::now();
+            let search_span = trace::span("sat", "search");
             let dirty: Option<FxHashSet<Id>> = if it == 0 {
                 eg.clear_search_dirty();
                 None
@@ -377,6 +417,9 @@ impl Runner {
                 let dirty_ref = dirty.as_ref();
                 let search_one = |ti: usize| {
                     let (ri, restrict) = &tasks[ti];
+                    let _rule_span = trace::span_named("sat.rule", || {
+                        format!("search {}", self.rules[*ri].name)
+                    });
                     let restrict = match restrict {
                         Restrict::Whole => None,
                         Restrict::Dirty => dirty_ref,
@@ -442,6 +485,7 @@ impl Runner {
                 all_matches.extend(matches.into_iter().map(|m| (ri, m)));
             }
             let search_time = t_search.elapsed();
+            drop(search_span);
 
             // 2. apply every distinct match, then restore congruence once.
             // Match roots and substitutions are canonical as of the search
@@ -451,6 +495,7 @@ impl Runner {
             // key is moved, not cloned: a contains-probe filters repeats
             // and the insert afterwards consumes the match.
             let t_apply = Instant::now();
+            let apply_span = trace::span("sat", "apply");
             let mut applied = 0usize;
             for (ri, m) in all_matches {
                 if eg.total_nodes() >= self.limits.node_limit {
@@ -467,9 +512,15 @@ impl Runner {
                 seen.insert(key);
             }
             let apply_time = t_apply.elapsed();
+            drop(apply_span);
             let t_rebuild = Instant::now();
-            eg.rebuild();
+            {
+                let _rebuild_span = trace::span("sat", "rebuild");
+                eg.rebuild();
+            }
             let rebuild_time = t_rebuild.elapsed();
+            trace::counter("sat", "egraph.nodes", eg.total_nodes() as u64);
+            trace::counter("sat", "egraph.classes", eg.num_classes() as u64);
 
             iterations.push(IterationStats {
                 matches: found,

@@ -33,6 +33,7 @@ use crate::cost::CostModel;
 use crate::greedy::extract_greedy;
 use crate::selection::Selection;
 use accsat_egraph::{EGraph, Id, ThreadBudget};
+use accsat_obs::trace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -117,6 +118,10 @@ pub struct PortfolioResult {
     /// LP-relaxation root bound shared by every member.
     /// `cost - lower_bound` is the kernel's reported *bound gap*.
     pub lower_bound: u64,
+    /// Candidates removed per pruning layer while building the shared
+    /// [`SearchContext`] (deterministic — a function of the e-graph and
+    /// cost model only). In layer order: orbit, dominance, closure.
+    pub pruned: [usize; 3],
 }
 
 /// One member of a [`PortfolioHarvest`]: a complete selection with its
@@ -176,6 +181,9 @@ struct PortfolioCore {
     short_circuit: bool,
     /// The LP-relaxation root lower bound.
     root_bound: u64,
+    /// Candidates removed by the orbit / dominance / closure pruning
+    /// layers of the shared search context.
+    pruned: [usize; 3],
     /// Per-strategy search results (empty on short circuit).
     results: Vec<(&'static str, crate::bnb::ExactResult)>,
 }
@@ -191,11 +199,18 @@ fn run_portfolio(
     config: &PortfolioConfig,
     budget: Option<&ThreadBudget>,
 ) -> PortfolioCore {
-    let greedy = extract_greedy(eg, roots, cm);
+    let greedy = {
+        let _span = trace::span("extract", "greedy");
+        extract_greedy(eg, roots, cm)
+    };
     let greedy_cost = greedy.dag_cost(eg, cm, roots);
     // built once, shared by every worker (the context is immutable and
     // Sync; each search only derives its own candidate orders from it)
-    let cx = SearchContext::build(eg, cm);
+    let cx = {
+        let _span = trace::span("extract", "context.build");
+        SearchContext::build(eg, cm)
+    };
+    let pruned = [cx.orbit_pruned(), cx.dominance_pruned(), cx.closure_pruned()];
     let root_bound = cx.root_lower_bound(roots);
     if greedy_cost <= root_bound {
         // the incumbent meets the admissible bound: provably optimal
@@ -208,10 +223,12 @@ fn run_portfolio(
             greedy_cost,
             short_circuit: true,
             root_bound,
+            pruned,
             results: Vec::new(),
         };
     }
 
+    let refine_span = trace::span("extract", "refine");
     // DAG-aware refinement: hill-climb the greedy incumbent, and run the
     // sequential marginal greedy (completed from the greedy cover) with a
     // climb on top; the cheapest deterministic result seeds every search.
@@ -235,6 +252,7 @@ fn run_portfolio(
         } else {
             (greedy.clone(), greedy_cost, "greedy")
         };
+    drop(refine_span);
     if incumbent_cost <= root_bound {
         // the refined incumbent meets the bound: proven without search
         return PortfolioCore {
@@ -245,6 +263,7 @@ fn run_portfolio(
             incumbent_name,
             short_circuit: true,
             root_bound,
+            pruned,
             results: Vec::new(),
         };
     }
@@ -274,7 +293,10 @@ fn run_portfolio(
     let (width, _lease) = accsat_egraph::pool::fanout_width(budget, want, opts.len());
     let results: Vec<(&'static str, crate::bnb::ExactResult)> = if width <= 1 {
         opts.iter()
-            .map(|(name, o)| (*name, extract_exact_in(&cx, roots, &incumbent, incumbent_cost, o)))
+            .map(|(name, o)| {
+                let _span = trace::span_named("extract.bnb", || name.to_string());
+                (*name, extract_exact_in(&cx, roots, &incumbent, incumbent_cost, o))
+            })
             .collect()
     } else {
         // atomic-cursor drain into per-strategy slots: workers pick the
@@ -287,7 +309,8 @@ fn run_portfolio(
             let (cx, incumbent, opts, slots, next) = (&cx, &incumbent, &opts, &slots, &next);
             let drain = move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((_, o)) = opts.get(i) else { break };
+                let Some((name, o)) = opts.get(i) else { break };
+                let _span = trace::span_named("extract.bnb", || name.to_string());
                 let r = extract_exact_in(cx, roots, incumbent, incumbent_cost, o);
                 *slots[i].lock().expect("portfolio slot") = Some(r);
             };
@@ -313,6 +336,7 @@ fn run_portfolio(
         incumbent_name,
         short_circuit: false,
         root_bound,
+        pruned,
         results,
     }
 }
@@ -360,6 +384,7 @@ pub fn extract_portfolio_budgeted(
                 explored: 0,
             }],
             lower_bound: core.incumbent_cost,
+            pruned: core.pruned,
         };
     }
 
@@ -396,6 +421,7 @@ pub fn extract_portfolio_budgeted(
         winner,
         workers,
         lower_bound: if proven { cost } else { core.root_bound },
+        pruned: core.pruned,
     }
 }
 

@@ -1,0 +1,85 @@
+//! End-to-end observability discipline: the `--metrics` report and the
+//! stable batch report are byte-identical at any worker-thread count and
+//! with the tracer armed or disarmed, and the trace the armed run writes
+//! is a valid, well-nested Chrome trace covering parse → codegen.
+//!
+//! Wall clock lives only in the trace sink; everything the metrics
+//! registry holds is a deterministic counter, so the three runs below —
+//! 1 thread, 8 threads, 8 threads traced — must render the same bytes.
+
+use accsat::batch::{optimize_suite, ParallelConfig};
+use accsat::obs::validate::validate_trace;
+use accsat::obs::{trace, MetricsRegistry};
+use accsat::{add_opt_stats, optimize_program, SaturatorConfig, Variant};
+use accsat_egraph::RunnerLimits;
+use std::path::Path;
+use std::time::Duration;
+
+/// Scaled-down limits (the property-test preset): big enough to rewrite,
+/// small enough to sweep a benchmark three times in one test.
+fn small_config() -> SaturatorConfig {
+    SaturatorConfig {
+        limits: RunnerLimits { node_limit: 1500, iter_limit: 3, ..RunnerLimits::default() },
+        extraction_node_budget: 10_000,
+        extraction_budget: Duration::from_secs(60),
+        ..SaturatorConfig::default()
+    }
+}
+
+/// One test function on purpose: the tracer is process-global, so the
+/// arm/disarm lifecycle and every output comparison share one sequence.
+#[test]
+fn metrics_are_identical_across_threads_and_tracing() {
+    let benches = &accsat_benchmarks::npb_benchmarks()[..1];
+    let cfg = small_config();
+
+    let run = |threads: usize| {
+        let par = ParallelConfig { threads, ..ParallelConfig::default() };
+        let report = optimize_suite(benches, Variant::AccSat, &cfg, &par).unwrap();
+        (report.metrics().to_text(), report.metrics().to_json(), report.to_stable_json())
+    };
+
+    let (m1, j1, s1) = run(1);
+    let (m8, j8, s8) = run(8);
+    assert_eq!(m1, m8, "--metrics text must not depend on thread count");
+    assert_eq!(j1, j8, "metrics JSON must not depend on thread count");
+    assert_eq!(s1, s8, "stable report must not depend on thread count");
+    assert!(m1.starts_with("accsat-metrics v1\n"));
+    assert!(m1.contains("counter kernels "));
+
+    // armed tracer: same deterministic outputs, plus a valid trace
+    trace::start();
+    let (mt, jt, st) = run(8);
+    let json = trace::finish().expect("tracer was armed");
+    assert_eq!(m1, mt, "--metrics text must not change when tracing is on");
+    assert_eq!(j1, jt);
+    assert_eq!(s1, st);
+
+    let summary = validate_trace(&json).expect("trace must be valid and well-nested");
+    assert!(summary.spans > 0, "expected spans, got {summary:?}");
+    for cat in ["batch", "pipeline", "sat", "extract"] {
+        assert!(
+            summary.categories.iter().any(|c| c == cat),
+            "trace missing category {cat}: {:?}",
+            summary.categories
+        );
+    }
+}
+
+/// The pinned metrics report of one suite kernel: `axpy.c` through the
+/// default ACCSAT pipeline must render exactly the golden bytes. This is
+/// the format pin for the `--metrics` file — regenerate the golden
+/// deliberately when the report schema changes.
+#[test]
+fn axpy_metrics_report_matches_golden() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(root.join("tests/golden/axpy.c")).unwrap();
+    let golden = std::fs::read_to_string(root.join("tests/golden/axpy_metrics.golden")).unwrap();
+    let prog = accsat_ir::parse_program(&src).unwrap();
+    let (_, stats) = optimize_program(&prog, Variant::AccSat).unwrap();
+    let mut reg = MetricsRegistry::new();
+    for s in &stats {
+        add_opt_stats(&mut reg, s);
+    }
+    assert_eq!(reg.to_text(), golden, "axpy metrics report drifted from the golden");
+}

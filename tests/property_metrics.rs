@@ -1,0 +1,130 @@
+//! Property tests for the metrics registry's determinism contract: the
+//! rendered report is a function of the *multiset* of recorded values —
+//! never of recording order, merge order, or how samples were partitioned
+//! across per-worker registries. This is the algebra that lets the serve
+//! daemon and the batch driver merge worker-local registries in
+//! completion order and still answer `metrics` byte-identically at any
+//! thread count.
+//!
+//! Failing seeds persist to `proptest-regressions/property_metrics.txt`
+//! and re-run first on every test execution.
+
+use accsat::add_opt_stats;
+use accsat::obs::MetricsRegistry;
+use accsat::{optimize_source, SaturatorConfig, Variant};
+use accsat_benchmarks::genkern::{generate_kernel, GenConfig};
+use accsat_egraph::RunnerLimits;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn small_config() -> SaturatorConfig {
+    SaturatorConfig {
+        limits: RunnerLimits { node_limit: 1500, iter_limit: 3, ..RunnerLimits::default() },
+        extraction_node_budget: 10_000,
+        extraction_budget: Duration::from_secs(60),
+        ..SaturatorConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Observation order is invisible: a registry fed a shuffled stream of
+    /// (counter, histogram) samples renders the same bytes as one fed the
+    /// sorted stream.
+    #[test]
+    fn rendering_ignores_observation_order(
+        mut samples in proptest::collection::vec((0u8..4, 0u64..1u64 << 40), 1..64),
+        rot in 0usize..64,
+    ) {
+        let feed = |reg: &mut MetricsRegistry, (k, v): (u8, u64)| {
+            reg.add(&format!("counter.{}", k % 2), v);
+            reg.observe(&format!("hist.{}", k / 2), v);
+        };
+        let mut a = MetricsRegistry::new();
+        for &s in &samples {
+            feed(&mut a, s);
+        }
+        let rot = rot % samples.len();
+        samples.rotate_left(rot);
+        samples.reverse();
+        let mut b = MetricsRegistry::new();
+        for &s in &samples {
+            feed(&mut b, s);
+        }
+        prop_assert_eq!(a.to_text(), b.to_text());
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    /// Partition-and-merge is invisible: splitting a sample stream across
+    /// N worker-local registries and merging them — in any order — equals
+    /// recording everything into one registry. (This is exactly what the
+    /// serve workers and the batch driver do.)
+    #[test]
+    fn merge_equals_single_registry(
+        samples in proptest::collection::vec((0u8..4, 0u64..1u64 << 40), 1..64),
+        workers in 1usize..5,
+        reverse in 0u8..2,
+    ) {
+        let reverse = reverse == 1;
+        let feed = |reg: &mut MetricsRegistry, (k, v): (u8, u64)| {
+            reg.add(&format!("counter.{}", k % 2), v);
+            reg.observe(&format!("hist.{}", k / 2), v);
+        };
+        let mut whole = MetricsRegistry::new();
+        let mut parts: Vec<MetricsRegistry> = (0..workers).map(|_| MetricsRegistry::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            feed(&mut whole, s);
+            feed(&mut parts[i % workers], s);
+        }
+        if reverse {
+            parts.reverse();
+        }
+        let mut merged = MetricsRegistry::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(whole.to_text(), merged.to_text());
+        prop_assert_eq!(whole.to_json(), merged.to_json());
+    }
+
+    /// Real pipeline stats obey the same algebra: per-kernel registries
+    /// from generated kernels merge to the same report in any order, and
+    /// re-running a kernel folds to identical counters (the pipeline's
+    /// own determinism surfacing through the registry).
+    #[test]
+    fn pipeline_stats_merge_order_invariantly(seed in 0u64..u64::MAX) {
+        let cfg = small_config();
+        let sources: Vec<String> = (0..3)
+            .map(|i| generate_kernel(seed.wrapping_add(i), &GenConfig::default()).source)
+            .collect();
+        let regs: Vec<MetricsRegistry> = sources
+            .iter()
+            .map(|src| {
+                let (_, stats, _) = optimize_source(src, Variant::AccSat, &cfg).unwrap();
+                let mut reg = MetricsRegistry::new();
+                for s in &stats {
+                    add_opt_stats(&mut reg, s);
+                }
+                reg
+            })
+            .collect();
+        let mut forward = MetricsRegistry::new();
+        for r in &regs {
+            forward.merge(r);
+        }
+        let mut backward = MetricsRegistry::new();
+        for r in regs.iter().rev() {
+            backward.merge(r);
+        }
+        prop_assert_eq!(forward.to_text(), backward.to_text());
+
+        // determinism: the same kernel replays to the same registry
+        let (_, stats, _) = optimize_source(&sources[0], Variant::AccSat, &cfg).unwrap();
+        let mut again = MetricsRegistry::new();
+        for s in &stats {
+            add_opt_stats(&mut again, s);
+        }
+        prop_assert_eq!(again.to_text(), regs[0].to_text());
+    }
+}

@@ -1,13 +1,16 @@
 //! Golden-transcript test for `accsat serve`: a recorded session — ping,
-//! a cold optimize, a stats barrier, the same kernel warm, stats, quit —
-//! must replay byte-for-byte at any worker-thread count. CI replays the
-//! same two files through the release binary (`tests/golden/`), so the
-//! recorded transcript is simultaneously the unit pin and the smoke-test
-//! oracle.
+//! a cold optimize, a stats barrier, the same kernel warm, stats, a full
+//! `metrics` report, quit — must replay byte-for-byte at any
+//! worker-thread count. CI replays the same two files through the release
+//! binary (`tests/golden/`), so the recorded transcript is simultaneously
+//! the unit pin and the smoke-test oracle.
 //!
-//! The `stats` requests double as barriers: `stats` drains all in-flight
-//! work before answering, so the cache counters — and which request gets
-//! the miss — are deterministic even with concurrent workers.
+//! The `stats` and `metrics` requests double as barriers: each drains all
+//! in-flight work before answering, so the cache counters, the
+//! requests-by-verb tallies, and the merged metrics registry — and which
+//! request gets the miss — are deterministic even with concurrent
+//! workers. The registry merge is commutative, so the `metrics` line is
+//! byte-identical no matter which worker ran which request.
 
 use accsat::{run_session, ServeConfig};
 use std::path::Path;
